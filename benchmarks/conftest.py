@@ -1,0 +1,26 @@
+"""Benchmark configuration.
+
+Each benchmark runs one experiment (DESIGN.md's per-experiment index) with
+``pytest-benchmark`` and prints the same rows/series the paper's figure or
+table shows.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``REPRO_SCALE`` (default 0.25 algorithmic / 0.05 discrete-event) controls
+the system scale; ``REPRO_SCALE=1.0`` reproduces the paper's full
+|D|=200k / |N|=20k configuration for the algorithmic benchmarks.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def show(capsys):
+    """Print a block of experiment output past pytest's capture."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

@@ -1,0 +1,32 @@
+"""E1 — the clustered architecture vs Chord, Gnutella, central index."""
+
+from repro.experiments import comparison
+
+
+def test_bench_comparison(benchmark, show):
+    result = benchmark.pedantic(comparison.run, rounds=1, iterations=1)
+    show(comparison.format_result(result))
+    clustered = result.row("clustered (paper)")
+    chord = result.row("chord (DHT)")
+    gnutella = result.row("gnutella (flood)")
+    central = result.row("central index")
+    # "a response time within only a few hops for the common case".
+    assert clustered.mean_hops <= 3.0
+    assert clustered.max_hops <= 5
+    # Chord routes in O(log N) — more hops than the cluster architecture.
+    assert chord.mean_hops > clustered.mean_hops
+    # Flooding needs several hops too.
+    assert gnutella.mean_hops > clustered.mean_hops
+    # Load: the clustered design beats hash placement and flooding; the
+    # central index's directory dwarfs everything.
+    assert clustered.load_fairness > chord.load_fairness
+    assert clustered.load_fairness > gnutella.load_fairness
+    assert central.hottest_share > 10 * clustered.hottest_share
+    # E1a: flooding reliably finds single-copy content but at hundreds of
+    # messages per query; k random walkers bound the message cost and pay
+    # in success rate / path length (the [7] trade-off).
+    flood = result.search_row("flood")
+    walk = result.search_row("random_walk")
+    assert flood.success_rate > walk.success_rate
+    assert walk.mean_messages < flood.mean_messages
+    assert flood.mean_messages > 100  # flooding's real cost is visible

@@ -1,0 +1,18 @@
+"""E3 — the full dynamics loop: flash crowd, adaptation, churn, gossip."""
+
+from repro.experiments import dynamics
+
+
+def test_bench_dynamics(benchmark, show):
+    result = benchmark.pedantic(dynamics.run, rounds=1, iterations=1)
+    show(dynamics.format_result(result))
+    rounds = {r.label: r for r in result.rounds}
+    # The baseline period needs no rebalancing.
+    assert not rounds["baseline"].rebalanced
+    # Queries keep succeeding through the crowd, rebalancing, and churn.
+    assert all(r.query_success_rate > 0.9 for r in result.rounds)
+    # The system ends at least as fair as the first post-crowd period.
+    post_crowd = [r for r in result.rounds if r.label.startswith("post-crowd")]
+    assert result.rounds[-1].observed_fairness >= post_crowd[0].observed_fairness - 0.05
+    # Epidemic dissemination brought DCRTs back in line.
+    assert result.final_dcrt_agreement > 0.95

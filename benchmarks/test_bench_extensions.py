@@ -1,0 +1,40 @@
+"""X1-X3 — the paper's future-work items, benchmarked.
+
+* X1 (item ii): clusters vs nodes-per-cluster configuration trade-off;
+* X2 (item viii): requester-side caching;
+* X3 (item vi): category- vs document-granularity rebalancing.
+"""
+
+from repro.experiments import caching, cluster_config, granularity
+
+
+def test_bench_cluster_config(benchmark, show):
+    result = benchmark.pedantic(cluster_config.run, rounds=1, iterations=1)
+    show(cluster_config.format_result(result))
+    assert all(row.fairness > 0.9 for row in result.rows)
+    # The worst-case hop bound (max cluster size) shrinks as clusters grow.
+    distinct = {row.actual_clusters: row for row in result.rows}
+    ordered = [distinct[c] for c in sorted(distinct)]
+    assert ordered[-1].max_cluster_size <= ordered[0].max_cluster_size
+
+
+def test_bench_caching(benchmark, show):
+    result = benchmark.pedantic(caching.run, rounds=1, iterations=1)
+    show(caching.format_result(result))
+    rows = {row.capacity: row for row in result.rows}
+    # Even a tiny cache materially improves load balance over no cache.
+    assert rows[4].load_fairness > rows[0].load_fairness + 0.05
+    assert rows[4].hottest_share < rows[0].hottest_share
+    # Diminishing returns: capacity 64 is not much better than 16.
+    assert rows[64].load_fairness <= rows[16].load_fairness + 0.1
+
+
+def test_bench_granularity(benchmark, show):
+    result = benchmark.pedantic(granularity.run, rounds=1, iterations=1)
+    show(granularity.format_result(result))
+    category = result.row("category")
+    document = result.row("document")
+    assert category.converged and document.converged
+    # The headline: document-level moves reach the same fairness target
+    # while moving orders of magnitude fewer bytes.
+    assert document.bytes_moved_mb < category.bytes_moved_mb / 10

@@ -1,0 +1,11 @@
+"""F2 — regenerate Figure 2: MaxFair on the Zipf-category scenario."""
+
+from repro.experiments import figure2
+
+
+def test_bench_figure2(benchmark, show):
+    result = benchmark.pedantic(figure2.run, rounds=1, iterations=1)
+    show(figure2.format_result(result))
+    # Paper: achieved fairness 0.9819; shape check: very high fairness.
+    assert result.achieved_fairness > 0.95
+    assert len(result.normalized_popularity) >= 10

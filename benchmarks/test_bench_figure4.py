@@ -1,0 +1,14 @@
+"""F4 — regenerate Figure 4: robustness under the 30%-mass perturbation."""
+
+from repro.experiments import figure4
+
+
+def test_bench_figure4(benchmark, show):
+    result = benchmark.pedantic(figure4.run, rounds=1, iterations=1)
+    show(figure4.format_result(result))
+    # Paper shape: initial fairness ~1.0 for every theta; the perturbed
+    # fairness degrades but stays tolerable (paper's worst case: 0.78).
+    for point in result.points:
+        assert point.initial_fairness > 0.99
+        assert point.final_fairness < point.initial_fairness
+    assert result.worst_final > 0.70

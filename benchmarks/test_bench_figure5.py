@@ -1,0 +1,57 @@
+"""F5 — regenerate Figure 5: MaxFair_Reassign recovery over five runs."""
+
+from repro.experiments import figure5
+
+
+def test_bench_figure5(benchmark, show):
+    result = benchmark.pedantic(figure5.run, rounds=1, iterations=1)
+    show(figure5.format_result(result))
+    # Paper shape: every run recovers above the 92% upper threshold within
+    # single-digit reassignments (the paper observed 7-8).
+    assert result.all_converged
+    assert result.max_moves_needed <= 12
+    for run_ in result.runs:
+        trace = run_.fairness_trace
+        assert all(b > a for a, b in zip(trace, trace[1:]))
+        assert trace[-1] >= figure5.UPPER_THRESHOLD
+
+
+def test_bench_figure5_threshold_ablation(benchmark, show):
+    """Ablation: the move budget vs the achieved fairness target."""
+
+    def sweep():
+        rows = []
+        for threshold in (0.85, 0.92, 0.96):
+            result = figure5.run(seeds=(3, 11, 23))
+            # run() fixes the 0.92 threshold; re-run reassignment cheaper
+            # here by reading how many moves crossed each target.
+            for run_ in result.runs:
+                crossing = next(
+                    (
+                        i
+                        for i, f in enumerate(run_.fairness_trace)
+                        if f >= threshold
+                    ),
+                    None,
+                )
+                rows.append((threshold, run_.experiment_seed, crossing))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    from repro.metrics.report import format_table
+
+    show(
+        format_table(
+            ["fairness target", "experiment seed", "moves to reach (None = not reached)"],
+            rows,
+            title="F5a — moves needed vs fairness target",
+        )
+    )
+    # Tighter targets need at least as many moves.
+    by_seed: dict[int, list[tuple[float, int | None]]] = {}
+    for threshold, seed, crossing in rows:
+        by_seed.setdefault(seed, []).append((threshold, crossing))
+    for seed, series in by_seed.items():
+        series.sort()
+        reached = [c for _t, c in series if c is not None]
+        assert all(b >= a for a, b in zip(reached, reached[1:])), seed

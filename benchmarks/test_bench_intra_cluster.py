@@ -1,0 +1,21 @@
+"""E2 — intra-cluster balance from the Section 4.3.3 replication policy."""
+
+from repro.experiments import intra_cluster
+
+
+def test_bench_intra_cluster(benchmark, show):
+    result = benchmark.pedantic(intra_cluster.run, rounds=1, iterations=1)
+    show(intra_cluster.format_result(result))
+    rows = {row.hot_mass: row for row in result.rows}
+    bare = rows[0.0]
+    paper = rows[0.35]
+    # The paper's policy materially improves both the placement-implied and
+    # the observed intra-cluster fairness over pure partitioning.
+    assert paper.expected_fairness > bare.expected_fairness + 0.05
+    assert paper.observed_fairness > bare.observed_fairness + 0.05
+    # More replication mass -> monotonically better expected balance,
+    # at monotonically higher storage.
+    ordered = sorted(result.rows, key=lambda r: r.hot_mass)
+    for earlier, later in zip(ordered, ordered[1:]):
+        assert later.expected_fairness >= earlier.expected_fairness - 0.02
+        assert later.mean_storage_mb >= earlier.mean_storage_mb

@@ -1,0 +1,23 @@
+"""T3 — the Section 6.1.3 rebalancing-cost example."""
+
+import pytest
+
+from repro.experiments import rebalance_cost
+
+MB = 1024 * 1024
+
+
+def test_bench_rebalance_cost(benchmark, show):
+    result = benchmark.pedantic(rebalance_cost.run, rounds=1, iterations=1)
+    show(rebalance_cost.format_result(result))
+    # Closed-form paper numbers: 8 GB per category, 16 MB per transfer,
+    # 5,000 pairs = 2.5% of 200k nodes.
+    assert result.bytes_per_category == 8000 * MB
+    assert result.bytes_per_transfer == pytest.approx(16 * MB)
+    assert result.engaged_pairs == 5000
+    assert result.engaged_fraction == pytest.approx(0.025)
+    # The simulated execution broke the move into many small transfers
+    # rather than one bulk copy.
+    if result.sim_transfer_messages:
+        assert result.sim_transfer_messages > 10
+        assert result.sim_mean_transfer_bytes < result.bytes_per_category / 10

@@ -1,0 +1,31 @@
+"""T1 — the Section 4.4 scaling claims and MaxFair ablations."""
+
+from repro.experiments import scaling
+
+
+def test_bench_scaling(benchmark, show):
+    result = benchmark.pedantic(scaling.run, rounds=1, iterations=1)
+    show(scaling.format_result(result))
+    # Paper: fairness > 0.90 even in the hardest (most clusters, fewest
+    # categories) cell, typically > 0.95.
+    assert result.min_fairness > 0.90
+    # Fairness improves as categories grow for a fixed cluster count.
+    by_clusters: dict[int, list[tuple[int, float]]] = {}
+    for cell in result.grid:
+        by_clusters.setdefault(cell.n_clusters, []).append(
+            (cell.n_categories, cell.fairness)
+        )
+    for cells in by_clusters.values():
+        cells.sort()
+        fairness_series = [f for _s, f in cells]
+        assert fairness_series[-1] >= fairness_series[0] - 1e-6
+    # MaxFair dominates every single-pass baseline strategy, and the
+    # local-search refinement (future-work item i) never loses to it.
+    strategies = dict(result.strategy_ablation)
+    single_pass = {
+        name: value
+        for name, value in strategies.items()
+        if name != "maxfair+refine"
+    }
+    assert strategies["maxfair"] >= max(single_pass.values()) - 1e-9
+    assert strategies["maxfair+refine"] >= strategies["maxfair"] - 1e-9

@@ -1,0 +1,19 @@
+"""T2 — the Section 4.3.3 storage example."""
+
+import pytest
+
+from repro.experiments import storage
+
+MB = 1024 * 1024
+
+
+def test_bench_storage(benchmark, show):
+    result = benchmark.pedantic(storage.run, rounds=1, iterations=1)
+    show(storage.format_result(result))
+    # Closed-form paper numbers.
+    assert result.size_per_category_bytes == 1000 * 5 * 4 * MB
+    assert result.base_bytes_per_node == pytest.approx(100 * MB)
+    assert result.top10_mass_theta08 > 0.35  # "< 10% cover > 35%"
+    # The simulated placement spreads storage near-uniformly.
+    assert result.sim_storage_fairness > 0.5
+    assert result.sim_max_node_bytes < 5 * result.sim_mean_node_bytes

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+Modern installs go through ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works offline with older setuptools/pip stacks
+(legacy ``setup.py develop`` path needs no wheel building).
+"""
+
+from setuptools import setup
+
+setup()

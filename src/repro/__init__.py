@@ -1,0 +1,39 @@
+"""Reproduction of "Towards High Performance Peer-to-Peer Content and
+Resource Sharing Systems" (Triantafillou, Xiruhaki, Koubarakis, Ntarmos —
+CIDR 2003).
+
+A production-quality Python library implementing the paper's cluster-based
+P2P architecture end to end:
+
+* :mod:`repro.model` — documents, categories, heterogeneous peers, Zipf
+  workloads, and the paper's evaluation scenarios;
+* :mod:`repro.core` — the MaxFair / MaxFair_Reassign load-balancing
+  algorithms, fairness metrics, the ICLB formalization, and the replica
+  placement policy;
+* :mod:`repro.sim` — a deterministic discrete-event simulation substrate
+  with a latency/bandwidth network model and fault injection;
+* :mod:`repro.overlay` — the full protocol suite: metadata structures
+  (DT/DCRT/NRT), query processing, publish/join/leave, leader election,
+  the four-phase adaptation mechanism, and the lazy rebalancing protocol;
+* :mod:`repro.baselines` — Chord, Gnutella-style flooding, and a hybrid
+  central-index system as comparators;
+* :mod:`repro.metrics` — load and response-time accounting and reporting;
+* :mod:`repro.experiments` — one module per paper figure/table, runnable
+  via ``repro-experiments`` or ``python -m repro.experiments``.
+
+Quickstart::
+
+    from repro.model import zipf_category_scenario
+    from repro.core import maxfair, normalized_cluster_popularities, jain_fairness
+
+    instance = zipf_category_scenario(scale=0.1, seed=7)
+    assignment = maxfair(instance)
+    values = normalized_cluster_popularities(
+        instance, assignment.category_to_cluster
+    )
+    print(f"fairness = {jain_fairness(values):.4f}")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

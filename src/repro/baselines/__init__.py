@@ -1,0 +1,23 @@
+"""Baseline P2P systems the paper positions itself against.
+
+* :mod:`repro.baselines.chord` — a structured DHT (Chord: consistent
+  hashing + finger tables).  Represents the overlay-network school
+  (Chord/CAN/Pastry/Tapestry) whose load balancing relies on "the
+  uniformity of the hash function" — which ignores document popularity.
+* :mod:`repro.baselines.gnutella` — unstructured TTL-flooding search
+  (Gnutella/Freenet style), whose response times the paper criticizes:
+  requests hop peer-to-peer until a holder is found or the hop budget is
+  exhausted.
+* :mod:`repro.baselines.hybrid` — a central-index system (Napster style,
+  cf. Yang & Garcia-Molina's hybrid P2P analysis): one directory node
+  answers all lookups.
+
+All three expose the same measurement surface (per-node loads, per-query
+hops/success) so the E1 comparison experiment can print one table.
+"""
+
+from repro.baselines.chord import ChordNetwork
+from repro.baselines.gnutella import GnutellaNetwork
+from repro.baselines.hybrid import HybridIndexNetwork
+
+__all__ = ["ChordNetwork", "GnutellaNetwork", "HybridIndexNetwork"]

@@ -1,0 +1,214 @@
+"""A Chord distributed hash table (Stoica et al., SIGCOMM 2001).
+
+Implements the lookup substrate the paper contrasts with: consistent
+hashing over an ``2**m`` identifier circle, each key stored at its
+successor node, and finger tables giving ``O(log N)`` lookups.
+
+The relevant property for the paper's argument is *load*: Chord places
+documents by hash uniformity alone, so under Zipf document popularity the
+node that happens to hold a hot key absorbs its entire request load —
+there is no popularity-aware balancing.  :meth:`ChordNetwork.run_queries`
+measures exactly that, plus the hop counts of the lookups themselves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ChordNode", "ChordNetwork"]
+
+
+def _sha1_int(data: str, bits: int) -> int:
+    digest = hashlib.sha1(data.encode("utf-8")).digest()
+    return int.from_bytes(digest, "big") % (1 << bits)
+
+
+@dataclass(slots=True)
+class ChordNode:
+    """One DHT node: its ring position, finger table, and stored keys."""
+
+    node_id: int  # position on the identifier circle
+    label: int  # external identity (the peer's id in the experiment)
+    fingers: list[int] = field(default_factory=list)  # node_ids
+    keys: set[int] = field(default_factory=set)
+    requests_served: int = 0
+
+
+class ChordNetwork:
+    """A complete, static Chord ring.
+
+    Parameters
+    ----------
+    node_labels:
+        External node identities; each is hashed onto the ring.
+    bits:
+        Identifier-space size (``m``); the ring holds ``2**bits`` ids.
+    """
+
+    def __init__(self, node_labels, bits: int = 32) -> None:
+        if bits < 8 or bits > 60:
+            raise ValueError(f"bits must be in [8, 60], got {bits}")
+        self.bits = bits
+        self.size = 1 << bits
+        self.nodes: dict[int, ChordNode] = {}
+        for label in node_labels:
+            node_id = _sha1_int(f"node:{label}", bits)
+            while node_id in self.nodes:  # extremely unlikely collision
+                node_id = (node_id + 1) % self.size
+            self.nodes[node_id] = ChordNode(node_id=node_id, label=label)
+        if not self.nodes:
+            raise ValueError("a Chord ring needs at least one node")
+        self._ring = sorted(self.nodes)
+        self._build_fingers()
+
+    # ------------------------------------------------------------------
+    # ring geometry
+    # ------------------------------------------------------------------
+    def successor(self, key: int) -> int:
+        """The first node id clockwise at or after ``key``."""
+        index = bisect_left(self._ring, key % self.size)
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index]
+
+    def _build_fingers(self) -> None:
+        for node_id, node in self.nodes.items():
+            node.fingers = [
+                self.successor((node_id + (1 << i)) % self.size)
+                for i in range(self.bits)
+            ]
+
+    @staticmethod
+    def _in_open_interval(value: int, low: int, high: int, size: int) -> bool:
+        """Whether ``value`` lies in the circular open interval (low, high)."""
+        if low == high:
+            return value != low
+        if low < high:
+            return low < value < high
+        return value > low or value < high
+
+    # ------------------------------------------------------------------
+    # churn
+    # ------------------------------------------------------------------
+    def join(self, label: int) -> int:
+        """Admit a new node: hash onto the ring, take over its key range.
+
+        The standard Chord join: the new node becomes responsible for the
+        keys between its predecessor and itself, which move over from its
+        successor.  Finger tables are rebuilt (this static simulator plays
+        the role of a completed stabilization round).  Returns the new
+        node's ring position.
+        """
+        if any(node.label == label for node in self.nodes.values()):
+            raise ValueError(f"label {label} already on the ring")
+        node_id = _sha1_int(f"node:{label}", self.bits)
+        while node_id in self.nodes:
+            node_id = (node_id + 1) % self.size
+        newcomer = ChordNode(node_id=node_id, label=label)
+        # Keys the newcomer takes over live at its current successor.
+        old_successor = self.successor(node_id)
+        self.nodes[node_id] = newcomer
+        self._ring = sorted(self.nodes)
+        donor = self.nodes[old_successor]
+        moving = {
+            doc_id
+            for doc_id in donor.keys
+            if self.successor(_sha1_int(f"doc:{doc_id}", self.bits)) == node_id
+        }
+        donor.keys -= moving
+        newcomer.keys |= moving
+        self._build_fingers()
+        return node_id
+
+    def leave(self, label: int) -> None:
+        """Remove a node gracefully: its keys move to its successor."""
+        node_id = next(
+            (nid for nid, node in self.nodes.items() if node.label == label),
+            None,
+        )
+        if node_id is None:
+            raise KeyError(f"no node with label {label}")
+        if len(self.nodes) == 1:
+            raise ValueError("cannot remove the last ring node")
+        leaving = self.nodes.pop(node_id)
+        self._ring = sorted(self.nodes)
+        heir = self.nodes[self.successor(node_id)]
+        heir.keys |= leaving.keys
+        self._build_fingers()
+
+    # ------------------------------------------------------------------
+    # storage
+    # ------------------------------------------------------------------
+    def store(self, doc_id: int) -> int:
+        """Place a document at the successor of its key; returns the node id."""
+        key = _sha1_int(f"doc:{doc_id}", self.bits)
+        holder = self.successor(key)
+        self.nodes[holder].keys.add(doc_id)
+        return holder
+
+    def store_all(self, doc_ids) -> None:
+        for doc_id in doc_ids:
+            self.store(doc_id)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def lookup(self, start_label_index: int, doc_id: int) -> tuple[int, int]:
+        """Route a lookup from the ``start``-th ring node to the key holder.
+
+        Returns ``(holder_node_id, hops)``.  Implements the standard
+        iterative ``closest_preceding_finger`` walk.
+        """
+        key = _sha1_int(f"doc:{doc_id}", self.bits)
+        target = self.successor(key)
+        current = self._ring[start_label_index % len(self._ring)]
+        hops = 0
+        # Walk until current's successor owns the key.
+        while current != target:
+            node = self.nodes[current]
+            succ = self.successor((current + 1) % self.size)
+            if succ == target:
+                current = succ
+                hops += 1
+                break
+            # closest preceding finger of the key
+            next_hop = succ
+            for finger in reversed(node.fingers):
+                if self._in_open_interval(finger, current, key, self.size):
+                    next_hop = finger
+                    break
+            if next_hop == current:
+                next_hop = succ
+            current = next_hop
+            hops += 1
+            if hops > 4 * self.bits:  # safety: must never trigger
+                raise RuntimeError(f"lookup for {doc_id} did not converge")
+        return target, hops
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def run_queries(
+        self, doc_ids, rng: np.random.Generator
+    ) -> tuple[np.ndarray, dict[int, int]]:
+        """Run a query stream; returns (per-query hops, per-node loads).
+
+        Each query starts at a uniformly random node and ends at the key's
+        holder, whose served-request counter increments — the load measure
+        shared with the cluster architecture experiments.
+        """
+        doc_list = list(doc_ids)
+        hops_out = np.zeros(len(doc_list), dtype=np.int64)
+        starts = rng.integers(0, len(self._ring), size=len(doc_list))
+        for i, doc_id in enumerate(doc_list):
+            holder, hops = self.lookup(int(starts[i]), doc_id)
+            self.nodes[holder].requests_served += 1
+            hops_out[i] = hops
+        loads = {
+            node.label: node.requests_served for node in self.nodes.values()
+        }
+        return hops_out, loads

@@ -1,0 +1,176 @@
+"""Fairness metrics for load distribution.
+
+The paper measures inter-cluster load balance with the fairness index of
+Jain, Chiu and Hawe [25]:
+
+    fairness(x) = (sum x_i)^2 / (n * sum x_i^2)
+
+which lies in (0, 1], is scale-invariant, and equals 1 exactly when all
+allocations are equal.  A value of ``f`` reads as "the allocation is fair
+for a fraction f of the participants".
+
+The paper's future-work item (v) asks for alternative fairness metrics;
+this module also provides majorization (shown stricter than the fairness
+index by Bhargava, Goel and Meyerson [24]), the Gini coefficient, the
+coefficient of variation, and the max/min ratio, all over the same
+normalized-popularity vectors, so they can be swapped into MaxFair.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "jain_fairness",
+    "majorizes",
+    "gini",
+    "lorenz_curve",
+    "coefficient_of_variation",
+    "max_min_ratio",
+    "FAIRNESS_METRICS",
+    "fairness_metric",
+]
+
+
+def _as_array(x: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D allocation vector, got shape {arr.shape}")
+    if len(arr) == 0:
+        raise ValueError("allocation vector must be non-empty")
+    if np.any(arr < 0):
+        raise ValueError("allocations must be non-negative")
+    return arr
+
+
+def jain_fairness(x: Sequence[float]) -> float:
+    """Jain's fairness index of an allocation vector.
+
+    Returns 1.0 for the all-zero vector (everyone equally gets nothing),
+    matching the equal-allocation limit.
+    """
+    arr = _as_array(x)
+    total = arr.sum()
+    if total == 0.0:
+        return 1.0
+    # Rescale by the maximum first: the index is scale-invariant and the
+    # squared sums would underflow to 0/0 for denormally small allocations.
+    arr = arr / arr.max()
+    total = arr.sum()
+    return float(total * total / (len(arr) * np.dot(arr, arr)))
+
+
+def majorizes(x: Sequence[float], y: Sequence[float]) -> bool:
+    """True when ``x`` majorizes ``y`` (``x`` is *less* fair than ``y``).
+
+    ``x`` majorizes ``y`` iff, after sorting both in decreasing order, every
+    prefix sum of ``x`` is >= the corresponding prefix sum of ``y``, with
+    equal totals.  Majorization is a partial order strictly finer than any
+    scalar fairness metric [24]: if ``x`` majorizes ``y`` then every Schur-
+    convex unfairness measure ranks ``x`` as at least as unfair as ``y``.
+    """
+    a = np.sort(_as_array(x))[::-1]
+    b = np.sort(_as_array(y))[::-1]
+    if len(a) != len(b):
+        raise ValueError(f"vectors must have equal length: {len(a)} vs {len(b)}")
+    if not np.isclose(a.sum(), b.sum()):
+        raise ValueError(
+            f"majorization requires equal totals: {a.sum()} vs {b.sum()}"
+        )
+    prefix_a = np.cumsum(a)
+    prefix_b = np.cumsum(b)
+    return bool(np.all(prefix_a >= prefix_b - 1e-12))
+
+
+def lorenz_curve(x: Sequence[float]) -> np.ndarray:
+    """Normalized Lorenz curve points ``L_k = (sum of k smallest) / total``.
+
+    Returns an array of length ``n + 1`` starting at 0 and ending at 1.
+    The all-zero vector maps to the egalitarian diagonal.
+    """
+    arr = np.sort(_as_array(x))
+    total = arr.sum()
+    if total == 0.0:
+        return np.linspace(0.0, 1.0, len(arr) + 1)
+    return np.concatenate([[0.0], np.cumsum(arr) / total])
+
+
+def gini(x: Sequence[float]) -> float:
+    """Gini coefficient in [0, 1); 0 means perfectly equal."""
+    arr = np.sort(_as_array(x))
+    total = arr.sum()
+    n = len(arr)
+    if total == 0.0:
+        return 0.0
+    index = np.arange(1, n + 1)
+    return float((2.0 * np.dot(index, arr) / (n * total)) - (n + 1) / n)
+
+
+def coefficient_of_variation(x: Sequence[float]) -> float:
+    """Standard deviation over mean; 0 means perfectly equal."""
+    arr = _as_array(x)
+    mean = arr.mean()
+    if mean == 0.0:
+        return 0.0
+    return float(arr.std() / mean)
+
+
+def max_min_ratio(x: Sequence[float]) -> float:
+    """Ratio of the largest to the smallest allocation (inf if min is 0)."""
+    arr = _as_array(x)
+    lowest = arr.min()
+    if lowest == 0.0:
+        return float("inf") if arr.max() > 0 else 1.0
+    return float(arr.max() / lowest)
+
+
+def _jain_objective(x: Sequence[float]) -> float:
+    return jain_fairness(x)
+
+
+def _neg_gini_objective(x: Sequence[float]) -> float:
+    return 1.0 - gini(x)
+
+
+def _neg_cv_objective(x: Sequence[float]) -> float:
+    return -coefficient_of_variation(x)
+
+
+def _neg_max_min_objective(x: Sequence[float]) -> float:
+    """Max/min objective usable as a *greedy construction* criterion.
+
+    Raw max/min is infinite while any cluster is still empty, which would
+    make every early placement look equally terrible and collapse the
+    greedy onto one cluster.  Score lexicographically instead: first fill
+    empty clusters, then minimize the ratio over the occupied ones.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    positive = arr[arr > 0]
+    empties = int(len(arr) - len(positive))
+    if len(positive) == 0:
+        return -1e12
+    ratio = float(positive.max() / positive.min())
+    return -(empties * 1e6) - ratio
+
+
+#: Named maximization objectives usable as MaxFair's fairness criterion.
+#: Each maps an allocation vector to a score where larger is fairer.
+FAIRNESS_METRICS = {
+    "jain": _jain_objective,
+    "gini": _neg_gini_objective,
+    "cv": _neg_cv_objective,
+    "max_min": _neg_max_min_objective,
+}
+
+
+def fairness_metric(name: str):
+    """Look up a named fairness objective for use in MaxFair variants."""
+    try:
+        return FAIRNESS_METRICS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fairness metric {name!r}; "
+            f"choose from {sorted(FAIRNESS_METRICS)}"
+        ) from None

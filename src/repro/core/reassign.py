@@ -1,0 +1,239 @@
+"""The MaxFair_Reassign rebalancing algorithm (Section 6.1.2, Phase 4).
+
+When the adaptation machinery detects that the fairness index has fallen
+below the low threshold, the leader with the highest normalized popularity
+runs MaxFair_Reassign:
+
+    while fairness < threshold and moves < max_moves:
+        1. find the cluster c_i with the highest normalized popularity
+        2. for every category s of c_i, for every other cluster c_j:
+           dummy-reassign s -> c_j, recompute fairness, remember the best
+        3. actually reassign the best (s, c_m)
+        4. update normalized popularities and the fairness value
+        5. moves += 1
+
+The algorithm is greedy (maximum fairness gain per move) and deliberately
+moves *few* categories, because each move triggers the lazy data-transfer
+protocol.  This module performs only the metadata-level decision; the
+simulated data movement lives in :mod:`repro.overlay.rebalance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.maxfair import Assignment
+from repro.core.popularity import CategoryStats, ClusterModel, build_category_stats
+from repro.model.system import SystemInstance
+
+__all__ = ["Move", "ReassignResult", "maxfair_reassign", "maxfair_reassign_from_stats"]
+
+
+@dataclass(frozen=True, slots=True)
+class Move:
+    """One category reassignment decided by MaxFair_Reassign."""
+
+    category_id: int
+    source_cluster: int
+    target_cluster: int
+    fairness_after: float
+
+
+@dataclass(slots=True)
+class ReassignResult:
+    """Outcome of a MaxFair_Reassign run.
+
+    ``fairness_trace[0]`` is the fairness before any move; entry ``i + 1``
+    is the fairness after the ``i``-th move — the series plotted in
+    Figure 5.
+    """
+
+    assignment: Assignment
+    moves: list[Move]
+    fairness_trace: list[float]
+    converged: bool
+
+    @property
+    def n_moves(self) -> int:
+        return len(self.moves)
+
+    @property
+    def initial_fairness(self) -> float:
+        return self.fairness_trace[0]
+
+    @property
+    def final_fairness(self) -> float:
+        return self.fairness_trace[-1]
+
+
+class _ClusterState:
+    """Cluster load/capacity vectors with O(1) move evaluation."""
+
+    def __init__(
+        self, stats: CategoryStats, assignment: Assignment, weights: np.ndarray
+    ) -> None:
+        n = assignment.n_clusters
+        self.load = np.zeros(n)
+        self.capacity = np.zeros(n)
+        for category_id, cluster in enumerate(assignment.category_to_cluster):
+            if cluster >= 0:
+                self.load[cluster] += stats.popularity[category_id]
+                self.capacity[cluster] += weights[category_id]
+        self.values = np.divide(
+            self.load,
+            self.capacity,
+            out=np.zeros(n),
+            where=self.capacity > 0,
+        )
+        self.n = n
+        self.sum1 = float(self.values.sum())
+        self.sum2 = float(np.dot(self.values, self.values))
+
+    def fairness(self) -> float:
+        if self.sum2 <= 0.0:
+            return 1.0
+        return self.sum1 * self.sum1 / (self.n * self.sum2)
+
+    @staticmethod
+    def _value(load: float, capacity: float) -> float:
+        return load / capacity if capacity > 0 else 0.0
+
+    def fairness_if_moved(
+        self, pop: float, weight: float, source: int, target: int
+    ) -> float:
+        """Jain index after moving (pop, weight) from ``source`` to ``target``."""
+        old_s, old_t = self.values[source], self.values[target]
+        new_s = self._value(self.load[source] - pop, self.capacity[source] - weight)
+        new_t = self._value(self.load[target] + pop, self.capacity[target] + weight)
+        sum1 = self.sum1 - old_s - old_t + new_s + new_t
+        sum2 = (
+            self.sum2
+            - old_s * old_s
+            - old_t * old_t
+            + new_s * new_s
+            + new_t * new_t
+        )
+        if sum2 <= 0.0:
+            return 1.0
+        return sum1 * sum1 / (self.n * sum2)
+
+    def apply_move(self, pop: float, weight: float, source: int, target: int) -> None:
+        for cluster, sign in ((source, -1.0), (target, +1.0)):
+            old = self.values[cluster]
+            self.load[cluster] += sign * pop
+            self.capacity[cluster] += sign * weight
+            # Clamp tiny negative residue from float cancellation.
+            if self.load[cluster] < 0:
+                self.load[cluster] = 0.0
+            if self.capacity[cluster] < 0:
+                self.capacity[cluster] = 0.0
+            new = self._value(self.load[cluster], self.capacity[cluster])
+            self.values[cluster] = new
+            self.sum1 += new - old
+            self.sum2 += new * new - old * old
+
+
+def maxfair_reassign_from_stats(
+    stats: CategoryStats,
+    assignment: Assignment,
+    fairness_threshold: float = 0.92,
+    max_moves: int = 50,
+    model: ClusterModel = ClusterModel.LIMITED_STORAGE,
+) -> ReassignResult:
+    """Run MaxFair_Reassign over precomputed category statistics.
+
+    Mutates and returns a *copy* of ``assignment``; the caller's assignment
+    is untouched.  Move counters are bumped on every reassignment so the
+    lazy-rebalancing conflict resolution (Section 6.1.2) can order updates.
+    """
+    if not 0.0 < fairness_threshold <= 1.0:
+        raise ValueError(
+            f"fairness_threshold must be in (0, 1], got {fairness_threshold}"
+        )
+    if max_moves < 0:
+        raise ValueError(f"max_moves must be non-negative, got {max_moves}")
+    if not assignment.is_complete():
+        raise ValueError("MaxFair_Reassign requires a complete assignment")
+
+    result_assignment = assignment.copy()
+    weights = stats.weights_for(model)
+    state = _ClusterState(stats, result_assignment, weights)
+    trace = [state.fairness()]
+    moves: list[Move] = []
+
+    while state.fairness() < fairness_threshold and len(moves) < max_moves:
+        # The paper picks the cluster with the highest normalized
+        # popularity.  When no move out of it improves fairness (its hot
+        # category would be even hotter on any other cluster's capacity),
+        # fall through to the next-hottest cluster rather than stalling.
+        chosen: tuple[float, int, int, int] | None = None  # (f, cat, src, tgt)
+        for source in np.argsort(-state.values):
+            source = int(source)
+            best: tuple[float, int, int] | None = None
+            for category_id in result_assignment.categories_in(source):
+                pop = float(stats.popularity[category_id])
+                weight = float(weights[category_id])
+                if pop <= 0.0:
+                    continue
+                for target in range(result_assignment.n_clusters):
+                    if target == source:
+                        continue
+                    gain = state.fairness_if_moved(pop, weight, source, target)
+                    if best is None or gain > best[0]:
+                        best = (gain, category_id, target)
+            if best is not None and best[0] > state.fairness() + 1e-12:
+                chosen = (best[0], best[1], source, best[2])
+                break
+        if chosen is None:
+            break  # no improving move exists anywhere; greedy is done
+        _gain, category_id, source, target = chosen
+        state.apply_move(
+            float(stats.popularity[category_id]),
+            float(weights[category_id]),
+            source,
+            target,
+        )
+        result_assignment.move(category_id, target)
+        moves.append(
+            Move(
+                category_id=category_id,
+                source_cluster=source,
+                target_cluster=target,
+                fairness_after=float(state.fairness()),
+            )
+        )
+        trace.append(float(state.fairness()))
+
+    return ReassignResult(
+        assignment=result_assignment,
+        moves=moves,
+        fairness_trace=trace,
+        converged=state.fairness() >= fairness_threshold,
+    )
+
+
+def maxfair_reassign(
+    instance: SystemInstance,
+    assignment: Assignment,
+    fairness_threshold: float = 0.92,
+    max_moves: int = 50,
+    model: ClusterModel = ClusterModel.LIMITED_STORAGE,
+    stats: CategoryStats | None = None,
+) -> ReassignResult:
+    """Run MaxFair_Reassign on a system instance.
+
+    ``stats`` should be rebuilt after any content perturbation so the
+    popularity vector reflects the *current* system state — exactly what
+    the Phase 1 monitoring of Section 6.1.2 estimates from hit counters.
+    """
+    if stats is None:
+        stats = build_category_stats(instance)
+    return maxfair_reassign_from_stats(
+        stats,
+        assignment,
+        fairness_threshold=fairness_threshold,
+        max_moves=max_moves,
+        model=model,
+    )

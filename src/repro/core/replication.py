@@ -1,0 +1,299 @@
+"""Replica placement for intra-cluster load balancing (Section 4.3.3).
+
+When nodes cannot store all cluster content, random target selection alone
+no longer balances intra-cluster load, because different nodes hold content
+of different total popularity.  The paper's policy:
+
+* For each category ``s`` stored in cluster ``c_i`` the total storage need
+  is ``size(s) = n_docs * n_reps * size_of_doc``, divided into ``|N_i|``
+  pieces — one per cluster node (each document gets ``n_reps`` replicas
+  spread over distinct nodes).
+* If document popularity within ``s`` is skewed, the ``m`` most popular
+  documents covering a significant share of the probability mass (the
+  paper's example: >= 35%, which under realistic Zipf laws is under 10% of
+  the documents) are additionally replicated on *every* node of the
+  cluster.
+
+The result is that per-node stored popularity is (almost) equal, so the
+Section 3.3 random-node dispatch keeps intra-cluster load balanced.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.fairness import jain_fairness
+from repro.core.maxfair import Assignment
+from repro.core.popularity import cluster_members
+from repro.model.system import SystemInstance
+from repro.model.zipf import top_mass_count
+
+__all__ = ["ReplicationPlan", "plan_replication", "category_storage_requirement"]
+
+
+def category_storage_requirement(
+    n_docs: int, n_reps: int, size_of_doc: int
+) -> int:
+    """``size(s) = n_docs * n_reps * size_of_doc`` — Section 4.3.3."""
+    if min(n_docs, n_reps, size_of_doc) < 0:
+        raise ValueError("all arguments must be non-negative")
+    return n_docs * n_reps * size_of_doc
+
+
+@dataclass(slots=True)
+class ReplicationPlan:
+    """Where every replica goes, plus per-node accounting.
+
+    Attributes
+    ----------
+    node_docs:
+        node id -> set of document ids stored (replicas and hot copies).
+    node_popularity:
+        node id -> total popularity of the documents it stores, counting a
+        document's full popularity (a request for it may land on this node).
+    node_bytes:
+        node id -> bytes stored under the plan.
+    hot_doc_ids:
+        Documents replicated on every node of their cluster.
+    """
+
+    node_docs: dict[int, set[int]] = field(default_factory=dict)
+    node_popularity: dict[int, float] = field(default_factory=dict)
+    node_bytes: dict[int, int] = field(default_factory=dict)
+    hot_doc_ids: set[int] = field(default_factory=set)
+    #: (node id, cluster id) -> stored popularity of that cluster's content
+    #: at that node; the balancing target (a node serving several clusters
+    #: must hold a fair share of *each* cluster's popularity).
+    node_cluster_popularity: dict[tuple[int, int], float] = field(
+        default_factory=dict
+    )
+
+    def intra_cluster_fairness(
+        self, instance: SystemInstance, assignment: Assignment, cluster_id: int
+    ) -> float:
+        """Jain fairness of *expected request load* across a cluster's nodes.
+
+        A request for a document is served by one of the nodes holding a
+        replica, chosen uniformly (Section 3.3); a node's expected load is
+        therefore ``sum over stored docs of p(d) / n_holders(d)``.
+        """
+        members = cluster_members(instance, assignment.category_to_cluster)
+        if cluster_id >= len(members) or not members[cluster_id]:
+            return 1.0
+
+        def in_cluster(doc_id: int) -> bool:
+            doc = instance.documents.get(doc_id)
+            if doc is None:
+                return False
+            return any(
+                int(assignment.category_to_cluster[c]) == cluster_id
+                for c in doc.categories
+            )
+
+        holders: dict[int, int] = {}
+        for node_id in members[cluster_id]:
+            for doc_id in self.node_docs.get(node_id, ()):
+                if in_cluster(doc_id):
+                    holders[doc_id] = holders.get(doc_id, 0) + 1
+        loads = []
+        for node_id in members[cluster_id]:
+            load = 0.0
+            for doc_id in self.node_docs.get(node_id, ()):
+                if doc_id in holders and holders[doc_id] > 0:
+                    load += (
+                        instance.documents[doc_id].popularity / holders[doc_id]
+                    )
+            loads.append(load)
+        return jain_fairness(loads)
+
+    def max_node_bytes(self) -> int:
+        return max(self.node_bytes.values(), default=0)
+
+    def mean_node_bytes(self) -> float:
+        if not self.node_bytes:
+            return 0.0
+        return sum(self.node_bytes.values()) / len(self.node_bytes)
+
+
+#: replica-placement policies (the paper's plus future-work item vii
+#: alternatives with popularity-dependent replica counts).
+POLICIES = ("hot_mass", "uniform", "sqrt", "proportional")
+
+
+def _replica_counts(
+    policy: str, popularity: np.ndarray, n_reps: int, n_members: int
+) -> np.ndarray:
+    """Per-document replica counts under a replication policy.
+
+    All policies spend (about) the same budget of ``n_reps * n_docs``
+    replicas; they differ in how the budget follows popularity:
+
+    * ``uniform`` — every document gets ``n_reps`` (the paper's base);
+    * ``sqrt`` — counts proportional to sqrt(popularity) (the classic
+      square-root replication of Cohen & Shapiro for random search);
+    * ``proportional`` — counts proportional to popularity.
+    """
+    n_docs = len(popularity)
+    if policy == "uniform":
+        counts = np.full(n_docs, n_reps)
+    else:
+        weight = np.sqrt(popularity) if policy == "sqrt" else popularity.copy()
+        total = weight.sum()
+        if total <= 0:
+            counts = np.full(n_docs, n_reps)
+        else:
+            counts = np.maximum(
+                1, np.round(weight / total * n_reps * n_docs)
+            ).astype(int)
+    return np.minimum(counts, max(1, n_members))
+
+
+def _place_category(
+    instance: SystemInstance,
+    plan: ReplicationPlan,
+    cluster_id: int,
+    doc_ids: list[int],
+    members: list[int],
+    n_reps: int,
+    hot_mass: float,
+    policy: str = "hot_mass",
+) -> None:
+    """Place one category's replicas over ``members``.
+
+    Base replicas go to the nodes currently holding the least of *this
+    cluster's* popularity via a heap (a node serving several clusters must
+    carry a fair share of each), never putting two replicas of one document
+    on the same node when the cluster is large enough.  Under the paper's
+    ``hot_mass`` policy, hot documents then get one copy on every member;
+    the alternative policies vary the per-document replica count instead.
+    """
+    docs = sorted(
+        (instance.documents[d] for d in doc_ids),
+        key=lambda doc: -doc.popularity,
+    )
+    popularity = np.array([doc.popularity for doc in docs])
+    if policy == "hot_mass":
+        n_hot = top_mass_count(popularity, hot_mass) if hot_mass > 0 else 0
+        replica_counts = np.full(len(docs), n_reps)
+    else:
+        n_hot = 0
+        replica_counts = _replica_counts(policy, popularity, n_reps, len(members))
+    hot = {doc.doc_id for doc in docs[:n_hot]}
+
+    def cluster_pop(node_id: int) -> float:
+        return plan.node_cluster_popularity.get((node_id, cluster_id), 0.0)
+
+    def has_room(node_id: int, size_bytes: int) -> bool:
+        budget = instance.nodes[node_id].storage_bytes
+        if budget is None:
+            return True
+        return plan.node_bytes.get(node_id, 0) + size_bytes <= budget
+
+    # (stored in-cluster popularity, tiebreak, node_id) heap over members.
+    heap = [(cluster_pop(node_id), node_id, node_id) for node_id in members]
+    heapq.heapify(heap)
+
+    def store(node_id: int, doc) -> bool:
+        docs_here = plan.node_docs.setdefault(node_id, set())
+        if doc.doc_id in docs_here:
+            return True
+        if not has_room(node_id, doc.size_bytes):
+            return False
+        docs_here.add(doc.doc_id)
+        plan.node_popularity[node_id] = (
+            plan.node_popularity.get(node_id, 0.0) + doc.popularity
+        )
+        plan.node_bytes[node_id] = (
+            plan.node_bytes.get(node_id, 0) + doc.size_bytes
+        )
+        key = (node_id, cluster_id)
+        plan.node_cluster_popularity[key] = (
+            plan.node_cluster_popularity.get(key, 0.0) + doc.popularity
+        )
+        return True
+
+    for position, doc in enumerate(docs):
+        if doc.doc_id in hot:
+            continue  # handled below on every member
+        replicas = min(int(replica_counts[position]), len(members))
+        taken = []
+        placed = 0
+        # Pop at most len(members) candidates looking for room; full nodes
+        # go back on the heap but do not receive the replica.
+        for _ in range(len(members)):
+            if placed >= replicas:
+                break
+            pop, _tie, node_id = heapq.heappop(heap)
+            if store(node_id, doc):
+                placed += 1
+            taken.append(node_id)
+        for node_id in taken:
+            heapq.heappush(heap, (cluster_pop(node_id), node_id, node_id))
+
+    for doc in docs[:n_hot]:
+        plan.hot_doc_ids.add(doc.doc_id)
+        for node_id in members:
+            store(node_id, doc)
+
+
+def plan_replication(
+    instance: SystemInstance,
+    assignment: Assignment,
+    n_reps: int = 2,
+    hot_mass: float = 0.35,
+    policy: str = "hot_mass",
+) -> ReplicationPlan:
+    """Compute a replica placement for a full assignment.
+
+    Parameters
+    ----------
+    instance:
+        The system (documents, categories, nodes).
+    assignment:
+        A complete category -> cluster assignment (e.g. MaxFair output).
+    n_reps:
+        Desired (mean) replicas per document (the paper's examples use 2
+        and 5).
+    hot_mass:
+        For the ``hot_mass`` policy: fraction of each category's popularity
+        mass whose top documents are replicated on every cluster node (the
+        paper's example: 0.35).  Set to 0 to disable hot replication (the
+        E2 ablation baseline).
+    policy:
+        ``hot_mass`` (the paper's Section 4.3.3 policy), or one of the
+        future-work-(vii) alternatives — ``uniform``, ``sqrt``,
+        ``proportional`` — which vary the per-document replica count under
+        (about) the same total budget instead of using a hot set.
+    """
+    if n_reps < 1:
+        raise ValueError(f"n_reps must be >= 1, got {n_reps}")
+    if not 0.0 <= hot_mass < 1.0:
+        raise ValueError(f"hot_mass must be in [0, 1), got {hot_mass}")
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+    if not assignment.is_complete():
+        raise ValueError("replication needs a complete assignment")
+
+    members = cluster_members(instance, assignment.category_to_cluster)
+    plan = ReplicationPlan()
+    for cluster_id in range(assignment.n_clusters):
+        cluster_nodes = sorted(members[cluster_id]) if cluster_id < len(members) else []
+        if not cluster_nodes:
+            continue
+        for category_id in assignment.categories_in(cluster_id):
+            doc_ids = instance.categories[category_id].doc_ids
+            if doc_ids:
+                _place_category(
+                    instance,
+                    plan,
+                    cluster_id,
+                    doc_ids,
+                    cluster_nodes,
+                    n_reps,
+                    hot_mass,
+                    policy=policy,
+                )
+    return plan

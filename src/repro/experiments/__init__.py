@@ -1,0 +1,59 @@
+"""Experiment modules — one per paper figure/table (see DESIGN.md).
+
+| id | paper artifact                              | module            |
+|----|---------------------------------------------|-------------------|
+| F2 | Figure 2 (Zipf categories, MaxFair)         | ``figure2``       |
+| F3 | Figure 3 (uniform categories, MaxFair)      | ``figure3``       |
+| F4 | Figure 4 (robustness under perturbation)    | ``figure4``       |
+| F5 | Figure 5 (MaxFair_Reassign recovery)        | ``figure5``       |
+| T1 | Section 4.4 scaling claims                  | ``scaling``       |
+| T2 | Section 4.3.3 storage example               | ``storage``       |
+| T3 | Section 6.1.3 rebalancing-cost example      | ``rebalance_cost``|
+| E1 | architecture vs Chord/Gnutella/central      | ``comparison``    |
+| E2 | intra-cluster balance via replication       | ``intra_cluster`` |
+| E3 | dynamics: flash crowd, adaptation, churn    | ``dynamics``      |
+| X1 | clusters vs nodes-per-cluster (fw item ii)  | ``cluster_config``|
+| X2 | requester-side caching (fw item viii)       | ``caching``       |
+| X3 | rebalancing granularity (fw item vi)        | ``granularity``   |
+
+The X rows implement the paper's explicit future-work items ("fw").
+Each module exposes ``run(...) -> <Result>`` and ``format_result(result)``.
+The CLI front door is :mod:`repro.experiments.runner` (installed as
+``repro-experiments``); the benchmarks in ``benchmarks/`` call the same
+``run`` functions.
+"""
+
+from repro.experiments import (  # noqa: F401  (re-exported for discovery)
+    caching,
+    cluster_config,
+    comparison,
+    dynamics,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    granularity,
+    intra_cluster,
+    rebalance_cost,
+    scaling,
+    storage,
+)
+
+#: experiment id -> module, used by the CLI and by tests.
+EXPERIMENTS = {
+    "F2": figure2,
+    "F3": figure3,
+    "F4": figure4,
+    "F5": figure5,
+    "T1": scaling,
+    "T2": storage,
+    "T3": rebalance_cost,
+    "E1": comparison,
+    "E2": intra_cluster,
+    "E3": dynamics,
+    "X1": cluster_config,
+    "X2": caching,
+    "X3": granularity,
+}
+
+__all__ = ["EXPERIMENTS"]

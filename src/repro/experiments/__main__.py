@@ -1,0 +1,6 @@
+"""``python -m repro.experiments`` — delegates to the CLI runner."""
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+"""X2 — requester-side caching (future-work item viii).
+
+The paper's future-work list asks for "cache placement and replacement
+algorithms that can complement our architecture".  We add the natural
+P2P cache: a peer that retrieves a document keeps it (LRU, bounded
+capacity) and registers as a holder, so future requests for hot content
+can be served from caches instead of always hitting the placed replicas.
+
+This experiment sweeps the per-node cache capacity and measures, under a
+Zipf request stream over an overlay *without* hot-mass replication (so the
+cache is the only hot-content spreading mechanism):
+
+* load fairness across nodes (caches absorb the hot documents' load);
+* the hottest node's share of all requests;
+* the fraction of requests served out of caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fairness import jain_fairness
+from repro.core.maxfair import maxfair
+from repro.core.popularity import build_category_stats
+from repro.core.replication import plan_replication
+from repro.experiments.common import des_scale
+from repro.metrics.report import format_table
+from repro.model.workload import make_query_workload, zipf_category_scenario
+from repro.overlay.system import P2PSystem, P2PSystemConfig
+
+__all__ = ["CacheRow", "CachingResult", "run", "format_result"]
+
+CACHE_CAPACITIES = (0, 4, 16, 64)
+
+
+@dataclass(frozen=True, slots=True)
+class CacheRow:
+    capacity: int
+    load_fairness: float
+    hottest_share: float
+    cached_copies: int
+
+
+@dataclass(frozen=True, slots=True)
+class CachingResult:
+    scale: float
+    n_queries: int
+    rows: tuple[CacheRow, ...]
+
+
+def run(
+    scale: float | None = None,
+    seed: int = 7,
+    n_queries: int = 6000,
+    capacities: tuple[int, ...] = CACHE_CAPACITIES,
+) -> CachingResult:
+    """Sweep the cache capacity under a fixed Zipf workload."""
+    if scale is None:
+        scale = des_scale()
+    instance = zipf_category_scenario(scale=scale, seed=seed)
+    stats = build_category_stats(instance)
+    assignment = maxfair(instance, stats=stats)
+    # No hot-mass replication: caching is the only hot-content spreader.
+    plan = plan_replication(instance, assignment, n_reps=2, hot_mass=0.0)
+    workload = make_query_workload(instance, n_queries, seed=seed + 1)
+
+    rows = []
+    for capacity in capacities:
+        system = P2PSystem(
+            instance,
+            assignment,
+            plan=plan,
+            config=P2PSystemConfig(cache_capacity=capacity, seed=1),
+        )
+        system.run_workload(workload)
+        loads = system.node_loads()
+        values = np.array(list(loads.values()), dtype=float)
+        total = values.sum()
+        cached_copies = sum(
+            len(peer._cache) for peer in system.alive_peers()
+        )
+        rows.append(
+            CacheRow(
+                capacity=capacity,
+                load_fairness=float(jain_fairness(values)),
+                hottest_share=float(values.max() / total) if total else 0.0,
+                cached_copies=cached_copies,
+            )
+        )
+    return CachingResult(scale=scale, n_queries=n_queries, rows=tuple(rows))
+
+
+def format_result(result: CachingResult) -> str:
+    rows = [
+        (
+            row.capacity,
+            f"{row.load_fairness:.4f}",
+            f"{row.hottest_share:.3%}",
+            row.cached_copies,
+        )
+        for row in result.rows
+    ]
+    return format_table(
+        ["cache capacity (docs)", "load fairness", "hottest node share",
+         "cached copies held"],
+        rows,
+        title=(
+            "X2 — requester-side caching (future-work item viii; "
+            f"{result.n_queries} Zipf queries, no hot-mass replication), "
+            f"scale = {result.scale}"
+        ),
+    )

@@ -1,0 +1,83 @@
+"""Shared helpers for the experiment modules.
+
+The paper-scale configuration (|D| = 200k, |N| = 20k, |S| = 500,
+|C| = 100) is feasible for the algorithmic experiments; the discrete-event
+experiments run at a reduced, shape-preserving scale.  The environment
+variable ``REPRO_SCALE`` overrides the default scale everywhere (useful
+to keep benchmark wall-time short, or to run the full paper scale:
+``REPRO_SCALE=1.0``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.fairness import jain_fairness
+from repro.core.maxfair import Assignment
+from repro.core.popularity import CategoryStats
+
+__all__ = [
+    "default_scale",
+    "des_scale",
+    "fairness_of_assignment",
+    "frozen_capacity_fairness",
+]
+
+#: default scale for the pure-algorithm experiments (F2-F5, T1).
+_ALGO_SCALE = 0.25
+#: default scale for the discrete-event experiments (E1-E3).
+_DES_SCALE = 0.05
+
+
+def default_scale() -> float:
+    """Scale factor for algorithmic experiments (env ``REPRO_SCALE``)."""
+    return float(os.environ.get("REPRO_SCALE", _ALGO_SCALE))
+
+
+def des_scale() -> float:
+    """Scale factor for discrete-event experiments.
+
+    ``REPRO_SCALE`` also applies here, capped at 0.1 so a full-scale
+    request does not produce a multi-hour simulation by accident; use
+    ``REPRO_DES_SCALE`` to lift the cap explicitly.
+    """
+    explicit = os.environ.get("REPRO_DES_SCALE")
+    if explicit is not None:
+        return float(explicit)
+    return min(0.1, float(os.environ.get("REPRO_SCALE", _DES_SCALE)))
+
+
+def fairness_of_assignment(
+    stats: CategoryStats, assignment: Assignment, weights: np.ndarray | None = None
+) -> float:
+    """Jain fairness of the normalized cluster popularities of an assignment."""
+    if weights is None:
+        weights = stats.storage_weight
+    load = np.zeros(assignment.n_clusters)
+    capacity = np.zeros(assignment.n_clusters)
+    for category_id, cluster in enumerate(assignment.category_to_cluster):
+        if cluster >= 0:
+            load[cluster] += stats.popularity[category_id]
+            capacity[cluster] += weights[category_id]
+    values = np.divide(
+        load, capacity, out=np.zeros(assignment.n_clusters), where=capacity > 0
+    )
+    return jain_fairness(values)
+
+
+def frozen_capacity_fairness(
+    original_stats: CategoryStats,
+    new_popularity: np.ndarray,
+    assignment: Assignment,
+) -> float:
+    """Fairness of a *changed* load against the *original* capacities.
+
+    This is how Section 5 evaluates robustness: content popularity moved,
+    but the resource structure (who stores what, with which capacity) is
+    still the one the original MaxFair placement produced — rebalancing has
+    not run.
+    """
+    hybrid = original_stats.with_popularity(new_popularity)
+    return fairness_of_assignment(hybrid, assignment)

@@ -1,0 +1,89 @@
+"""Command-line front door for the experiments.
+
+Installed as ``repro-experiments``; also runnable as
+``python -m repro.experiments``::
+
+    repro-experiments --list
+    repro-experiments F2 F5
+    repro-experiments all
+    REPRO_SCALE=1.0 repro-experiments F2     # full paper scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+
+__all__ = ["main"]
+
+
+def _describe(module) -> str:
+    doc = (module.__doc__ or "").strip().splitlines()
+    return doc[0] if doc else ""
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the evaluation of 'Towards High Performance "
+            "Peer-to-Peer Content and Resource Sharing Systems' (CIDR 2003)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (e.g. F2 F5 E1), or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="override the system scale factor (1.0 = full paper scale)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="root random seed"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("available experiments:")
+        for exp_id, module in EXPERIMENTS.items():
+            print(f"  {exp_id:4s} {_describe(module)}")
+        return 0
+
+    wanted = (
+        list(EXPERIMENTS)
+        if [e.lower() for e in args.experiments] == ["all"]
+        else [e.upper() for e in args.experiments]
+    )
+    unknown = [e for e in wanted if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known ids: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    for exp_id in wanted:
+        module = EXPERIMENTS[exp_id]
+        started = time.perf_counter()
+        kwargs = {}
+        if args.scale is not None:
+            kwargs["scale"] = args.scale
+        if "seed" in module.run.__code__.co_varnames:
+            kwargs["seed"] = args.seed
+        result = module.run(**kwargs)
+        elapsed = time.perf_counter() - started
+        print(module.format_result(result))
+        print(f"[{exp_id} completed in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

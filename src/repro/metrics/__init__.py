@@ -1,0 +1,26 @@
+"""Measurement and reporting utilities.
+
+* :mod:`repro.metrics.load` — per-node / per-cluster observed-load
+  accounting and fairness of the resulting distributions;
+* :mod:`repro.metrics.response` — response-time and hop-count statistics
+  with percentiles and worst-case checks;
+* :mod:`repro.metrics.report` — plain-text tables and series matching the
+  paper's figures, shared by the benchmarks and the experiment CLI.
+"""
+
+from repro.metrics.load import LoadReportCard, load_report
+from repro.metrics.response import ResponseStats, summarize_responses
+from repro.metrics.report import format_series, format_table
+from repro.metrics.traffic import TrafficReport, format_traffic, traffic_report
+
+__all__ = [
+    "LoadReportCard",
+    "ResponseStats",
+    "TrafficReport",
+    "format_series",
+    "format_table",
+    "format_traffic",
+    "load_report",
+    "summarize_responses",
+    "traffic_report",
+]

@@ -1,0 +1,107 @@
+"""Observed-load accounting.
+
+The paper's load measure: "Load in our case is the number of requests
+served by a data store node of the system" (Section 4).  These helpers
+turn per-peer served-request counters into the distributions and fairness
+numbers the experiments report:
+
+* per-node load, normalized by capacity units (fair share is proportional
+  to contributed capacity — Section 4.3.1);
+* per-cluster load, normalized the same way;
+* Jain fairness of both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fairness import coefficient_of_variation, jain_fairness
+
+__all__ = ["LoadReportCard", "load_report"]
+
+
+@dataclass(frozen=True, slots=True)
+class LoadReportCard:
+    """Summary of an observed load distribution."""
+
+    n_nodes: int
+    total_requests: int
+    node_fairness: float
+    node_fairness_normalized: float
+    cluster_fairness: float
+    max_node_load: int
+    mean_node_load: float
+    cv: float
+
+    def rows(self) -> list[tuple[str, str]]:
+        """Key/value rows for plain-text reporting."""
+        return [
+            ("nodes", str(self.n_nodes)),
+            ("total requests served", str(self.total_requests)),
+            ("node fairness (raw)", f"{self.node_fairness:.4f}"),
+            ("node fairness (per capacity unit)", f"{self.node_fairness_normalized:.4f}"),
+            ("cluster fairness", f"{self.cluster_fairness:.4f}"),
+            ("max node load", str(self.max_node_load)),
+            ("mean node load", f"{self.mean_node_load:.2f}"),
+            ("coefficient of variation", f"{self.cv:.4f}"),
+        ]
+
+
+def load_report(
+    node_loads: dict[int, int],
+    node_capacities: dict[int, float] | None = None,
+    node_clusters: dict[int, set[int]] | None = None,
+) -> LoadReportCard:
+    """Build a :class:`LoadReportCard` from observed per-node loads.
+
+    Parameters
+    ----------
+    node_loads:
+        node id -> requests served.
+    node_capacities:
+        node id -> capacity units; when given, the normalized fairness
+        divides each node's load by its capacity (heterogeneity-aware
+        fairness, Section 4.3.1).
+    node_clusters:
+        node id -> clusters the node belongs to; when given, per-cluster
+        loads are computed by splitting each node's load evenly over its
+        clusters and cluster fairness is reported.
+    """
+    if not node_loads:
+        raise ValueError("node_loads must be non-empty")
+    node_ids = sorted(node_loads)
+    loads = np.array([node_loads[n] for n in node_ids], dtype=np.float64)
+
+    if node_capacities is not None:
+        capacities = np.array(
+            [node_capacities.get(n, 1.0) for n in node_ids], dtype=np.float64
+        )
+        normalized = loads / np.maximum(capacities, 1e-12)
+    else:
+        normalized = loads
+
+    cluster_fairness = 1.0
+    if node_clusters:
+        cluster_loads: dict[int, float] = {}
+        for node_id in node_ids:
+            clusters = node_clusters.get(node_id, set())
+            if not clusters:
+                continue
+            share = node_loads[node_id] / len(clusters)
+            for cluster_id in clusters:
+                cluster_loads[cluster_id] = cluster_loads.get(cluster_id, 0.0) + share
+        if cluster_loads:
+            cluster_fairness = jain_fairness(list(cluster_loads.values()))
+
+    return LoadReportCard(
+        n_nodes=len(node_ids),
+        total_requests=int(loads.sum()),
+        node_fairness=jain_fairness(loads),
+        node_fairness_normalized=jain_fairness(normalized),
+        cluster_fairness=cluster_fairness,
+        max_node_load=int(loads.max()),
+        mean_node_load=float(loads.mean()),
+        cv=coefficient_of_variation(loads),
+    )

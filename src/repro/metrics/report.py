@@ -1,0 +1,52 @@
+"""Plain-text reporting shared by benchmarks and the experiment CLI.
+
+The benchmarks print the same rows/series the paper's figures and tables
+show, so a run's output can be compared against the paper at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render an aligned fixed-width table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(width) for value, width in zip(values, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in cells)
+    return "\n".join(parts)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    points: Sequence[tuple[object, object]],
+    title: str | None = None,
+) -> str:
+    """Render an (x, y) series — one figure line — as a two-column table."""
+    return format_table([x_label, y_label], [list(p) for p in points], title=title)
+
+
+def format_kv(rows: Sequence[tuple[str, str]], title: str | None = None) -> str:
+    """Render key/value pairs (report-card style)."""
+    return format_table(["metric", "value"], [list(r) for r in rows], title=title)

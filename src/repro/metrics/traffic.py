@@ -1,0 +1,88 @@
+"""Network-traffic reporting.
+
+Turns a :class:`repro.sim.network.NetworkStats` into the tables the
+rebalancing-cost discussions need: message and byte counts per protocol
+kind, control-vs-data split, and per-node byte rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.report import format_table
+from repro.sim.network import NetworkStats
+
+__all__ = ["TrafficReport", "traffic_report", "format_traffic"]
+
+#: message kinds whose payloads are content, not coordination.
+DATA_KINDS = frozenset({"transfer_data", "query_response"})
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficReport:
+    """Summary of a network's cumulative traffic."""
+
+    messages_sent: int
+    messages_delivered: int
+    messages_dropped: int
+    bytes_total: int
+    bytes_data: int
+    bytes_control: int
+    by_kind: tuple[tuple[str, int, int], ...]  # (kind, messages, bytes)
+
+    @property
+    def delivery_rate(self) -> float:
+        if self.messages_sent == 0:
+            return 1.0
+        return self.messages_delivered / self.messages_sent
+
+    @property
+    def data_fraction(self) -> float:
+        if self.bytes_total == 0:
+            return 0.0
+        return self.bytes_data / self.bytes_total
+
+
+def traffic_report(stats: NetworkStats) -> TrafficReport:
+    """Summarize cumulative network statistics."""
+    by_kind = tuple(
+        (kind, stats.by_kind.get(kind, 0), stats.bytes_by_kind.get(kind, 0))
+        for kind in sorted(stats.by_kind)
+    )
+    bytes_data = sum(
+        size for kind, _count, size in by_kind if kind in DATA_KINDS
+    )
+    return TrafficReport(
+        messages_sent=stats.messages_sent,
+        messages_delivered=stats.messages_delivered,
+        messages_dropped=stats.messages_dropped,
+        bytes_total=stats.bytes_sent,
+        bytes_data=bytes_data,
+        bytes_control=stats.bytes_sent - bytes_data,
+        by_kind=by_kind,
+    )
+
+
+def format_traffic(report: TrafficReport, title: str | None = None) -> str:
+    """Render the per-kind traffic breakdown as a table."""
+    mb = 1024 * 1024
+    rows = [
+        (kind, count, f"{size / mb:.2f}")
+        for kind, count, size in report.by_kind
+    ]
+    rows.append(
+        (
+            "TOTAL",
+            report.messages_sent,
+            f"{report.bytes_total / mb:.2f}",
+        )
+    )
+    return format_table(
+        ["message kind", "messages", "MB"],
+        rows,
+        title=title
+        or (
+            f"Traffic — {report.delivery_rate:.1%} delivered, "
+            f"{report.data_fraction:.1%} of bytes are content"
+        ),
+    )

@@ -1,0 +1,305 @@
+"""Workload scenarios, query streams, and perturbation generators.
+
+Three kinds of workload are needed to reproduce the paper's evaluation:
+
+* **Scenario builders** — shorthand constructors for the two Section 4.4
+  configurations: the "challenging" Zipf-like category-popularity scenario
+  of Figure 2 and the near-uniform scenario of Figure 3.
+* **Query streams** — request sequences drawn from the document popularity
+  distribution, used by the discrete-event experiments to measure observed
+  per-node load and response hops.
+* **Perturbations** — the Figure 4/5 stress test: add 5% new documents
+  that carry 30% of the (resulting) total popularity mass, randomly spread
+  over categories, plus node churn generators for Section 6.3 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.documents import Document
+from repro.model.system import (
+    SCENARIO_UNIFORM,
+    SCENARIO_ZIPF,
+    SystemConfig,
+    SystemInstance,
+    build_system,
+)
+from repro.model.zipf import zipf_pmf
+
+__all__ = [
+    "Query",
+    "QueryWorkload",
+    "PerturbationResult",
+    "zipf_category_scenario",
+    "uniform_category_scenario",
+    "make_query_workload",
+    "add_hot_documents",
+    "node_churn_events",
+]
+
+
+def zipf_category_scenario(
+    scale: float = 1.0,
+    seed: int = 0,
+    category_theta: float = 0.7,
+    doc_theta: float = 0.8,
+) -> SystemInstance:
+    """Build the Figure 2 scenario (Zipf-like category popularities).
+
+    ``scale`` shrinks all four population sizes proportionally from the
+    paper's |D|=200k / |N|=20k / |C|=100 / |S|=500 configuration.
+    """
+    config = SystemConfig(
+        scenario=SCENARIO_ZIPF,
+        category_theta=category_theta,
+        doc_theta=doc_theta,
+        seed=seed,
+    ).scaled(scale)
+    return build_system(config)
+
+
+def uniform_category_scenario(
+    scale: float = 1.0, seed: int = 0, doc_theta: float = 0.8
+) -> SystemInstance:
+    """Build the Figure 3 scenario (near-uniform category popularities)."""
+    config = SystemConfig(
+        scenario=SCENARIO_UNIFORM, doc_theta=doc_theta, seed=seed
+    ).scaled(scale)
+    return build_system(config)
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """A single user request.
+
+    Mirrors the paper's query form ``[(k1..kn), m, idQ]`` (Section 3.3):
+    keywords are pre-resolved to a target document and its categories (the
+    categorization step is deterministic in our substitution), ``m`` is the
+    number of desired results, and ``query_id`` the unique pseudorandom id
+    used for loop detection.
+    """
+
+    query_id: int
+    requester_id: int
+    target_doc_id: int
+    category_ids: tuple[int, ...]
+    m: int = 1
+
+
+@dataclass(slots=True)
+class QueryWorkload:
+    """A reproducible request stream over a system instance."""
+
+    queries: list[Query]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def doc_hit_counts(self, n_docs: int) -> np.ndarray:
+        """Requests per document id — handy for skew sanity checks."""
+        counts = np.zeros(n_docs, dtype=np.int64)
+        for query in self.queries:
+            counts[query.target_doc_id] += 1
+        return counts
+
+    def category_hit_counts(self, n_categories: int) -> np.ndarray:
+        """Requests per category id (split across multi-category targets)."""
+        counts = np.zeros(n_categories, dtype=np.float64)
+        for query in self.queries:
+            share = 1.0 / len(query.category_ids)
+            for category_id in query.category_ids:
+                counts[category_id] += share
+        return counts
+
+
+def make_query_workload(
+    instance: SystemInstance,
+    n_queries: int,
+    seed: int = 0,
+    m: int = 1,
+) -> QueryWorkload:
+    """Draw ``n_queries`` requests according to document popularities.
+
+    Requesters are uniform over nodes — any peer may ask for anything; the
+    skew lives entirely in *what* is requested.
+    """
+    if n_queries < 0:
+        raise ValueError(f"n_queries must be non-negative, got {n_queries}")
+    rng = np.random.default_rng(seed)
+    doc_ids = np.array(sorted(instance.documents))
+    popularity = np.array(
+        [instance.documents[int(d)].popularity for d in doc_ids]
+    )
+    total = popularity.sum()
+    if total <= 0:
+        raise ValueError("instance has zero total popularity")
+    choices = rng.choice(len(doc_ids), size=n_queries, p=popularity / total)
+    requesters = rng.integers(0, len(instance.nodes), size=n_queries)
+    node_ids = np.array(sorted(instance.nodes))
+
+    queries = []
+    for i in range(n_queries):
+        doc = instance.documents[int(doc_ids[choices[i]])]
+        queries.append(
+            Query(
+                query_id=i,
+                requester_id=int(node_ids[requesters[i] % len(node_ids)]),
+                target_doc_id=doc.doc_id,
+                category_ids=doc.categories,
+                m=m,
+            )
+        )
+    return QueryWorkload(queries=queries)
+
+
+@dataclass(frozen=True, slots=True)
+class PerturbationResult:
+    """Outcome of a content-population perturbation.
+
+    Attributes
+    ----------
+    new_doc_ids:
+        Identifiers of the documents added.
+    added_mass:
+        Total popularity added (in the *original* popularity scale).
+    affected_categories:
+        Categories that received at least one new document.
+    """
+
+    new_doc_ids: tuple[int, ...]
+    added_mass: float
+    affected_categories: tuple[int, ...]
+
+
+def add_hot_documents(
+    instance: SystemInstance,
+    doc_fraction: float = 0.05,
+    mass_fraction: float = 0.30,
+    seed: int = 1,
+    new_doc_theta: float = 0.8,
+    category_subset_fraction: float | None = None,
+) -> PerturbationResult:
+    """Apply the Figure 4/5 stress test to ``instance`` in place.
+
+    Adds ``doc_fraction`` x |D| new documents that become the most popular
+    content in the system, together carrying ``mass_fraction`` of the
+    *resulting* total probability mass (the paper: "we add 5% new documents
+    ... which correspond to 30% of the total probability mass").  The new
+    documents are "assigned randomly to some semantic categories" — by
+    default uniformly over all categories; pass ``category_subset_fraction``
+    to concentrate them on a random subset (a harsher upset, closer to a
+    flash-crowd on a few topics).  Each new document is contributed by a
+    random existing node.
+    """
+    if not 0.0 < doc_fraction <= 1.0:
+        raise ValueError(f"doc_fraction must be in (0, 1], got {doc_fraction}")
+    if not 0.0 < mass_fraction < 1.0:
+        raise ValueError(f"mass_fraction must be in (0, 1), got {mass_fraction}")
+    if category_subset_fraction is not None and not (
+        0.0 < category_subset_fraction <= 1.0
+    ):
+        raise ValueError(
+            "category_subset_fraction must be in (0, 1], "
+            f"got {category_subset_fraction}"
+        )
+
+    rng = np.random.default_rng(seed)
+    n_new = max(1, round(len(instance.documents) * doc_fraction))
+    old_total = instance.total_popularity
+    # added / (old + added) = mass_fraction  =>  added = old * f / (1 - f)
+    added_mass = old_total * mass_fraction / (1.0 - mass_fraction)
+
+    # Spread the added mass over the new documents with the same skew as
+    # the rest of the content; they dominate the old popular documents in
+    # aggregate regardless of the internal split.
+    new_popularity = zipf_pmf(n_new, new_doc_theta) * added_mass
+    n_categories = len(instance.categories)
+    if category_subset_fraction is None:
+        candidate_categories = np.arange(n_categories)
+    else:
+        subset_size = max(1, round(n_categories * category_subset_fraction))
+        candidate_categories = rng.choice(n_categories, size=subset_size, replace=False)
+    target_categories = candidate_categories[
+        rng.integers(0, len(candidate_categories), size=n_new)
+    ]
+    node_ids = np.array(sorted(instance.nodes))
+    contributor_idx = rng.integers(0, len(node_ids), size=n_new)
+
+    new_ids = []
+    for i in range(n_new):
+        doc = Document(
+            doc_id=instance.fresh_doc_id(),
+            popularity=float(new_popularity[i]),
+            categories=(int(target_categories[i]),),
+            size_bytes=instance.config.doc_size_bytes,
+        )
+        instance.add_document(doc, contributor_id=int(node_ids[contributor_idx[i]]))
+        new_ids.append(doc.doc_id)
+
+    return PerturbationResult(
+        new_doc_ids=tuple(new_ids),
+        added_mass=added_mass,
+        affected_categories=tuple(sorted(set(int(c) for c in target_categories))),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnEvent:
+    """A scheduled node arrival or departure (Section 6.3 experiments)."""
+
+    time: float
+    node_id: int
+    kind: str  # "join" or "leave"
+
+
+def node_churn_events(
+    instance: SystemInstance,
+    duration: float,
+    leave_rate: float,
+    join_rate: float,
+    seed: int = 2,
+) -> list[ChurnEvent]:
+    """Generate a Poisson join/leave schedule over ``duration`` time units.
+
+    Leaves pick uniformly among the instance's current nodes (without
+    repetition); joins allocate fresh node ids above the existing range.
+    Rates are events per time unit.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    if leave_rate < 0 or join_rate < 0:
+        raise ValueError("rates must be non-negative")
+
+    rng = np.random.default_rng(seed)
+    events: list[ChurnEvent] = []
+
+    def poisson_times(rate: float) -> list[float]:
+        times, t = [], 0.0
+        if rate <= 0:
+            return times
+        while True:
+            t += float(rng.exponential(1.0 / rate))
+            if t >= duration:
+                return times
+            times.append(t)
+
+    leavers = list(instance.nodes)
+    rng.shuffle(leavers)
+    for t in poisson_times(leave_rate):
+        if not leavers:
+            break
+        events.append(ChurnEvent(time=t, node_id=leavers.pop(), kind="leave"))
+
+    next_id = max(instance.nodes, default=-1) + 1
+    for t in poisson_times(join_rate):
+        events.append(ChurnEvent(time=t, node_id=next_id, kind="join"))
+        next_id += 1
+
+    events.sort(key=lambda e: e.time)
+    return events

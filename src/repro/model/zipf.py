@@ -1,0 +1,154 @@
+"""Zipf distribution utilities.
+
+The paper assumes document popularities follow a Zipf distribution, as has
+been observed for web objects [19, 31] and for existing P2P systems [17].
+The Zipf parameter theta used throughout the paper's evaluation lies in the
+measured range [0.6, 0.8] for documents (theta = 0.8 in all experiments)
+and theta = 0.7 or 0.8 for category popularities.
+
+We use the "Zipf-like" form common in the web-caching literature
+(Breslau et al. [19]):
+
+    P(rank = i)  proportional to  1 / i**theta,   i = 1..n
+
+with theta = 0 giving the uniform distribution and theta = 1 the classic
+Zipf law.  All functions here are deterministic given an explicit
+``numpy.random.Generator``; none touch global RNG state.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "zipf_pmf",
+    "zipf_sample",
+    "zipf_cdf",
+    "top_mass_count",
+    "mass_of_top",
+    "estimate_theta",
+]
+
+
+def zipf_pmf(n: int, theta: float) -> np.ndarray:
+    """Return the Zipf-like probability mass function over ranks ``1..n``.
+
+    ``pmf[i]`` is the popularity of the item of rank ``i + 1``.  The vector
+    sums to 1 and is non-increasing.
+
+    Parameters
+    ----------
+    n:
+        Number of items (must be positive).
+    theta:
+        Skew parameter; 0 is uniform, larger is more skewed.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if theta < 0:
+        raise ValueError(f"theta must be non-negative, got {theta}")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-theta
+    return weights / weights.sum()
+
+
+def zipf_cdf(n: int, theta: float) -> np.ndarray:
+    """Return the cumulative distribution over ranks ``1..n``."""
+    return np.cumsum(zipf_pmf(n, theta))
+
+
+def zipf_sample(
+    rng: np.random.Generator, n: int, theta: float, size: int
+) -> np.ndarray:
+    """Draw ``size`` item ranks (0-based indices) from a Zipf-like law.
+
+    Returns an integer array of indices in ``[0, n)``, where index 0 is the
+    most popular item.
+    """
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    pmf = zipf_pmf(n, theta)
+    return rng.choice(n, size=size, p=pmf)
+
+
+def top_mass_count(pmf: np.ndarray, mass: float) -> int:
+    """Smallest number of top-ranked items whose total popularity >= ``mass``.
+
+    This is the quantity behind the paper's Section 4.3.3 observation that
+    "less than 10% of all documents typically total more than 35% of the
+    document probability mass" for realistic Zipf parameters.
+
+    Parameters
+    ----------
+    pmf:
+        Popularity vector sorted in non-increasing order (need not sum to 1;
+        ``mass`` is interpreted as a fraction of its total).
+    mass:
+        Target fraction of total popularity, in [0, 1].
+    """
+    if not 0.0 <= mass <= 1.0:
+        raise ValueError(f"mass must be in [0, 1], got {mass}")
+    if len(pmf) == 0:
+        return 0
+    total = float(np.sum(pmf))
+    if total <= 0.0:
+        return 0
+    cumulative = np.cumsum(np.sort(pmf)[::-1]) / total
+    return int(np.searchsorted(cumulative, mass - 1e-12) + 1)
+
+
+def mass_of_top(pmf: np.ndarray, count: int) -> float:
+    """Fraction of total popularity held by the ``count`` most popular items."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if len(pmf) == 0 or count == 0:
+        return 0.0
+    total = float(np.sum(pmf))
+    if total <= 0.0:
+        return 0.0
+    top = np.sort(pmf)[::-1][:count]
+    return float(np.sum(top) / total)
+
+
+def estimate_theta(counts: np.ndarray) -> float:
+    """Estimate the Zipf parameter from observed access counts.
+
+    Fits ``log(count) = c - theta * log(rank)`` by least squares over the
+    non-zero counts.  Useful for checking that generated workloads have the
+    intended skew, and for the adaptation machinery's popularity tracking.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    counts = np.sort(counts[counts > 0])[::-1]
+    if len(counts) < 2:
+        return 0.0
+    ranks = np.arange(1, len(counts) + 1, dtype=np.float64)
+    slope, _intercept = np.polyfit(np.log(ranks), np.log(counts), 1)
+    return max(0.0, -float(slope))
+
+
+def harmonic_generalized(n: int, theta: float) -> float:
+    """Generalized harmonic number ``H(n, theta) = sum_{i=1}^{n} i**-theta``.
+
+    The normalizing constant of the Zipf-like law; exposed for closed-form
+    storage/load computations in the experiments.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return float(sum(i**-theta for i in range(1, n + 1)))
+
+
+def expected_top_mass(n: int, theta: float, fraction: float) -> float:
+    """Closed-form fraction of probability mass in the top ``fraction`` items.
+
+    For example ``expected_top_mass(1000, 0.8, 0.10)`` gives the share of
+    accesses hitting the most popular 10% of 1000 documents — the quantity
+    the replication policy of Section 4.3.3 relies on exceeding 35%.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    top = max(1, math.floor(n * fraction)) if fraction > 0 else 0
+    if top == 0:
+        return 0.0
+    return harmonic_generalized(top, theta) / harmonic_generalized(n, theta)

@@ -1,0 +1,37 @@
+"""The paper's P2P overlay: metadata, protocols, and dynamics.
+
+Implements Section 3 (architecture and query processing) and Section 6
+(dynamics) on top of the :mod:`repro.sim` substrate:
+
+* :mod:`repro.overlay.metadata` — the Figure 1 node data structures: the
+  Document Table (DT), the Document Category Routing Table (DCRT), and the
+  Node Routing Table (NRT);
+* :mod:`repro.overlay.messages` — protocol message types;
+* :mod:`repro.overlay.peer` — per-node protocol behaviour, including the
+  two-step query processing of Section 3.3 and hit-counter bookkeeping;
+* :mod:`repro.overlay.cluster` — cluster graphs, spanning-tree
+  construction, and leader election (Section 6.1.1);
+* :mod:`repro.overlay.publish` / :mod:`repro.overlay.join` — the publish
+  and join/leave protocols (Sections 6.2, 6.3);
+* :mod:`repro.overlay.adaptation` — the four-phase adaptation mechanism
+  (Section 6.1.2);
+* :mod:`repro.overlay.rebalance` — the lazy rebalancing protocol with
+  ``move_counter`` conflict resolution;
+* :mod:`repro.overlay.epidemic` — anti-entropy dissemination of metadata
+  updates;
+* :mod:`repro.overlay.routing_indices` — the pure-P2P routing-indices
+  alternative to cluster metadata (after Crespo & Garcia-Molina);
+* :mod:`repro.overlay.system` — :class:`~repro.overlay.system.P2PSystem`,
+  the façade that wires a built system instance into a live simulation.
+"""
+
+from repro.overlay.metadata import DCRT, NRT, DocumentTable
+from repro.overlay.system import P2PSystem, P2PSystemConfig
+
+__all__ = [
+    "DCRT",
+    "NRT",
+    "DocumentTable",
+    "P2PSystem",
+    "P2PSystemConfig",
+]

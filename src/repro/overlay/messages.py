@@ -1,0 +1,288 @@
+"""Protocol message payloads.
+
+Every overlay message travels through :class:`repro.sim.network.Network`
+with a ``kind`` string (used for traffic breakdowns) and one of the frozen
+dataclasses below as payload.  Sizes follow the paper's cost discussion:
+control messages are small and constant; document transfers carry the
+document size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.overlay.metadata import DCRTEntry
+
+__all__ = [
+    "DocInfo",
+    "QueryMessage",
+    "QueryResponse",
+    "QueryMiss",
+    "PublishRequest",
+    "PublishReply",
+    "JoinRequest",
+    "JoinReply",
+    "LeaveNotice",
+    "HitCountRequest",
+    "HitCountReply",
+    "LoadReport",
+    "ReassignNotice",
+    "TransferRequest",
+    "TransferData",
+    "GossipDigest",
+    "CapabilityAnnounce",
+    "LeaderProbe",
+    "LeaderProbeReply",
+    "CONTROL_SIZE",
+]
+
+#: Size in bytes charged for a small control message.
+CONTROL_SIZE = 256
+
+
+@dataclass(frozen=True, slots=True)
+class DocInfo:
+    """What a peer knows about a document it stores or transfers."""
+
+    doc_id: int
+    categories: tuple[int, ...]
+    size_bytes: int
+
+
+@dataclass(frozen=True, slots=True)
+class QueryMessage:
+    """A query being processed (Section 3.3).
+
+    ``remaining`` is the number of results still wanted (the paper's ``m``
+    decreased by matches found along the way); ``hops`` counts overlay
+    forwarding steps so far.
+    """
+
+    query_id: int
+    requester_id: int
+    category_id: int
+    remaining: int
+    hops: int = 0
+    #: cluster the requester believes serves the category — used by moved-
+    #: category redirection (Section 6.1.2, lazy rebalancing step 3).
+    target_cluster: int = -1
+    #: specific document wanted, or -1 for any documents of the category.
+    #: Document retrieval is the paper's main use case; nodes that do not
+    #: hold the document locate a replica holder through cluster metadata.
+    target_doc_id: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResponse:
+    """Documents matching a query, returned to the requester.
+
+    The response *is* the download: it carries the documents' metadata and
+    is sized as their content, so the requester can cache what it received
+    (future-work item viii).
+    """
+
+    query_id: int
+    doc_ids: tuple[int, ...]
+    responder_id: int
+    hops: int
+    #: piggybacked DCRT corrections (lazy-rebalance step 4).
+    dcrt_updates: tuple[tuple[int, DCRTEntry], ...] = ()
+    #: metadata of the served documents (for requester-side caching).
+    doc_infos: tuple[DocInfo, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class QueryMiss:
+    """Signals that a branch of the query exhausted without new results."""
+
+    query_id: int
+    responder_id: int
+    hops: int
+
+
+@dataclass(frozen=True, slots=True)
+class PublishRequest:
+    """Announce a contribution to a category (Section 6.2, step 4)."""
+
+    publisher_id: int
+    doc_id: int
+    category_id: int
+    #: the cluster the publisher believes serves the category, with its
+    #: freshness; receivers correct stale beliefs in their reply.
+    believed_entry: DCRTEntry = DCRTEntry(0, 0)
+
+
+@dataclass(frozen=True, slots=True)
+class PublishReply:
+    """Response to a publish: the receiver's routing knowledge.
+
+    If the category has moved, ``dcrt_updates`` tells the publisher where
+    to go next (Section 6.2, step 5).  ``accepted`` is True when the
+    receiver actually serves the category's cluster.
+    """
+
+    category_id: int
+    accepted: bool
+    responder_id: int
+    dcrt_updates: tuple[tuple[int, DCRTEntry], ...] = ()
+    cluster_members: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class JoinRequest:
+    """A new node contacting a bootstrap node (Section 6.3, step 2)."""
+
+    joiner_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class JoinReply:
+    """Bootstrap metadata handed to a joiner: DCRT and NRT snapshots."""
+
+    responder_id: int
+    dcrt_snapshot: tuple[tuple[int, DCRTEntry], ...]
+    nrt_snapshot: tuple[tuple[int, tuple[int, ...]], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class LeaveNotice:
+    """A departing node warning its cluster (Section 6.3).
+
+    Lists the documents that become unavailable so cluster peers can
+    re-replicate ones whose desired replication degree would be violated.
+    """
+
+    leaver_id: int
+    cluster_id: int
+    doc_ids: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class HitCountRequest:
+    """Phase 1 of adaptation: the leader asks for per-category hit counters.
+
+    Forwarded recursively over the cluster graph; the sender becomes the
+    receiver's parent in the on-the-fly tree (Section 6.1.2, Phase 1).
+    """
+
+    round_id: int
+    cluster_id: int
+    leader_id: int
+    #: how long the receiver may wait for its own children before giving
+    #: up.  Shrinks multiplicatively per tree level so that children always
+    #: finalize (and reply) before their parent's own timeout fires.
+    timeout_budget: float = 5.0
+
+
+@dataclass(frozen=True, slots=True)
+class HitCountReply:
+    """Aggregated per-category hits flowing back up the monitoring tree.
+
+    Carries both the hit counters (popularity estimates) and the members'
+    capacity-share weights (the Section 4.3.3 denominator estimates) so the
+    leader ends the round with the full per-category picture of its cluster.
+    """
+
+    round_id: int
+    cluster_id: int
+    counts: tuple[tuple[int, int], ...]  # (category_id, hits)
+    weights: tuple[tuple[int, float], ...]  # (category_id, capacity share)
+    subtree_size: int
+
+
+@dataclass(frozen=True, slots=True)
+class LoadReport:
+    """Phase 2: a cluster leader sharing its cluster's load figures.
+
+    ``category_weights`` are the members' capacity shares per category
+    aggregated in Phase 1 — the decentralized estimate of the Section
+    4.3.3 denominator, which Phase 3's fairness evaluation and Phase 4's
+    reassignment both use (they must agree, or rebalancing oscillates).
+    """
+
+    round_id: int
+    cluster_id: int
+    leader_id: int
+    category_hits: tuple[tuple[int, int], ...]
+    category_weights: tuple[tuple[int, float], ...]
+    capacity_units: float
+    n_members: int
+
+
+@dataclass(frozen=True, slots=True)
+class ReassignNotice:
+    """Phase 4 outcome: a category moved from one cluster to another.
+
+    Carries the bumped ``move_counter`` so late or duplicated notices
+    cannot roll the mapping back (Section 6.1.2, conflict resolution).
+    """
+
+    category_id: int
+    source_cluster: int
+    target_cluster: int
+    move_counter: int
+    #: pairings of (source node, destination node) for the data transfer.
+    transfer_pairs: tuple[tuple[int, int], ...] = ()
+    #: (source node, documents it is designated to ship): the coordinator
+    #: partitions the category's document set over the source nodes using
+    #: its cluster metadata, so each document travels once even though hot
+    #: replicas sit on every source node.  Sources without an entry fall
+    #: back to shipping everything they hold.
+    source_docs: tuple[tuple[int, tuple[int, ...]], ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class TransferRequest:
+    """A destination node pulling a document group from its paired source."""
+
+    category_id: int
+    requester_id: int
+    doc_ids: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class TransferData:
+    """Documents shipped to a destination node (sized as their content)."""
+
+    category_id: int
+    doc_ids: tuple[int, ...]
+    total_bytes: int
+
+
+@dataclass(frozen=True, slots=True)
+class GossipDigest:
+    """Anti-entropy exchange of DCRT entries (epidemic dissemination)."""
+
+    sender_id: int
+    entries: tuple[tuple[int, DCRTEntry], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class CapabilityAnnounce:
+    """Pre-election information exchange (Section 6.1.1).
+
+    Nodes inform cluster neighbours of their computing/storage/bandwidth
+    capabilities and forward what they heard from others, so that by
+    election time every member has "a quite clear picture" of the cluster.
+    """
+
+    cluster_id: int
+    capabilities: tuple[tuple[int, float], ...]  # (node_id, capacity_units)
+
+
+@dataclass(frozen=True, slots=True)
+class LeaderProbe:
+    """Liveness probe sent to the believed leader during adaptation."""
+
+    round_id: int
+    cluster_id: int
+    prober_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class LeaderProbeReply:
+    """The leader confirming it is alive."""
+
+    round_id: int
+    cluster_id: int
+    leader_id: int

@@ -1,0 +1,193 @@
+"""The per-node metadata structures of Figure 1.
+
+Every node keeps three tables:
+
+* **DT** (Document Table) — maps ids of *locally stored* documents to
+  their document categories.
+* **DCRT** (Document Category Routing Table) — maps each document category
+  to the cluster id currently serving it.  Extended (Section 6.1.2) with a
+  per-category ``move_counter`` so that conflicting updates arriving via
+  different gossip paths resolve deterministically: the entry with the
+  higher counter wins.
+* **NRT** (Node Routing Table) — maps cluster ids to known member node
+  ids.  Because NRTs "can grow very fast, an LRU replacement algorithm can
+  be adopted" (Section 6.2): per-cluster entries are capped with
+  least-recently-used eviction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+__all__ = ["DocumentTable", "DCRT", "DCRTEntry", "NRT"]
+
+
+@dataclass(slots=True)
+class DocumentTable:
+    """DT: locally stored document id -> category ids."""
+
+    _entries: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    def add(self, doc_id: int, categories: tuple[int, ...]) -> None:
+        if not categories:
+            raise ValueError("a document must have at least one category")
+        self._entries[doc_id] = tuple(categories)
+
+    def remove(self, doc_id: int) -> None:
+        self._entries.pop(doc_id, None)
+
+    def categories_of(self, doc_id: int) -> tuple[int, ...]:
+        return self._entries.get(doc_id, ())
+
+    def has_document(self, doc_id: int) -> bool:
+        return doc_id in self._entries
+
+    def has_category(self, category_id: int) -> bool:
+        """Whether any locally stored document belongs to ``category_id``.
+
+        The publish protocol uses this to decide if the node already
+        announced a contribution to the category (Section 6.2, step 2).
+        """
+        return any(category_id in cats for cats in self._entries.values())
+
+    def docs_in_category(self, category_id: int) -> list[int]:
+        return [
+            doc_id
+            for doc_id, cats in self._entries.items()
+            if category_id in cats
+        ]
+
+    def doc_ids(self) -> list[int]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass(frozen=True, slots=True)
+class DCRTEntry:
+    """A DCRT row: which cluster serves a category, and how fresh that is."""
+
+    cluster_id: int
+    move_counter: int = 0
+
+
+@dataclass(slots=True)
+class DCRT:
+    """Document Category Routing Table with move-counter conflict resolution.
+
+    Unknown categories resolve to cluster 0 — the paper's default mapping
+    for zero-document categories, which makes concurrent first publishes of
+    a new category converge on the same cluster (Section 6.2, step 3).
+    """
+
+    _entries: dict[int, DCRTEntry] = field(default_factory=dict)
+
+    DEFAULT_CLUSTER = 0
+
+    def cluster_of(self, category_id: int) -> int:
+        entry = self._entries.get(category_id)
+        return entry.cluster_id if entry is not None else self.DEFAULT_CLUSTER
+
+    def entry(self, category_id: int) -> DCRTEntry:
+        return self._entries.get(category_id, DCRTEntry(self.DEFAULT_CLUSTER, 0))
+
+    def merge(self, category_id: int, entry: DCRTEntry) -> bool:
+        """Apply an update, keeping the entry with the higher move counter.
+
+        Returns True if the local table changed.  Equal counters keep the
+        existing entry (updates are idempotent).
+        """
+        current = self._entries.get(category_id)
+        if current is None or entry.move_counter > current.move_counter:
+            self._entries[category_id] = entry
+            return True
+        return False
+
+    def set(self, category_id: int, cluster_id: int, move_counter: int = 0) -> None:
+        """Unconditionally install an entry (bootstrap only)."""
+        self._entries[category_id] = DCRTEntry(cluster_id, move_counter)
+
+    def snapshot(self) -> dict[int, DCRTEntry]:
+        """A copy of all entries — what nodes exchange during gossip."""
+        return dict(self._entries)
+
+    def merge_snapshot(self, snapshot: dict[int, DCRTEntry]) -> int:
+        """Merge a full snapshot; returns the number of entries updated."""
+        changed = 0
+        for category_id, entry in snapshot.items():
+            if self.merge(category_id, entry):
+                changed += 1
+        return changed
+
+    def categories(self) -> list[int]:
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class NRT:
+    """Node Routing Table: cluster id -> known member nodes, LRU-capped.
+
+    ``max_nodes_per_cluster`` bounds memory; touching an entry (adding it
+    again, or selecting it for routing) refreshes its recency.
+    """
+
+    def __init__(self, max_nodes_per_cluster: int = 64) -> None:
+        if max_nodes_per_cluster < 1:
+            raise ValueError(
+                f"max_nodes_per_cluster must be >= 1, got {max_nodes_per_cluster}"
+            )
+        self.max_nodes_per_cluster = max_nodes_per_cluster
+        self._clusters: dict[int, OrderedDict[int, None]] = {}
+
+    def add(self, cluster_id: int, node_id: int) -> None:
+        """Record that ``node_id`` belongs to ``cluster_id`` (refreshes LRU)."""
+        members = self._clusters.setdefault(cluster_id, OrderedDict())
+        if node_id in members:
+            members.move_to_end(node_id)
+        else:
+            members[node_id] = None
+            while len(members) > self.max_nodes_per_cluster:
+                members.popitem(last=False)
+
+    def add_many(self, cluster_id: int, node_ids) -> None:
+        for node_id in node_ids:
+            self.add(cluster_id, node_id)
+
+    def remove(self, cluster_id: int, node_id: int) -> None:
+        members = self._clusters.get(cluster_id)
+        if members is not None:
+            members.pop(node_id, None)
+
+    def remove_node(self, node_id: int) -> None:
+        """Remove a node from every cluster (on a leave notice)."""
+        for members in self._clusters.values():
+            members.pop(node_id, None)
+
+    def nodes_in(self, cluster_id: int) -> list[int]:
+        members = self._clusters.get(cluster_id)
+        return list(members) if members is not None else []
+
+    def random_node(self, cluster_id: int, rng) -> int | None:
+        """Pick a uniformly random known member of ``cluster_id``.
+
+        Random selection is the paper's intra-cluster dispatch rule: it
+        "can ensure that cluster nodes get an equal share of the workload
+        targeting their cluster" (Section 3.3).
+        """
+        members = self._clusters.get(cluster_id)
+        if not members:
+            return None
+        node_ids = list(members)
+        choice = node_ids[int(rng.integers(0, len(node_ids)))]
+        members.move_to_end(choice)
+        return choice
+
+    def clusters(self) -> list[int]:
+        return sorted(self._clusters)
+
+    def __contains__(self, cluster_id: int) -> bool:
+        return bool(self._clusters.get(cluster_id))

@@ -1,0 +1,561 @@
+"""The P2P system façade: a live simulated deployment.
+
+:class:`P2PSystem` wires a built :class:`~repro.model.system.SystemInstance`
+plus a category assignment (MaxFair output or a baseline) into a running
+discrete-event simulation:
+
+* one :class:`~repro.overlay.peer.Peer` per node, bootstrapped with the
+  Figure 1 metadata (full DCRT, cluster-complete + sampled-remote NRT);
+* per-cluster random connected graphs as the intra-cluster topology;
+* document placement from a :class:`~repro.core.replication.ReplicationPlan`
+  (or bare contributions when no plan is given);
+* query workload execution with per-query outcome tracking;
+* churn (node joins and leaves) and adaptation rounds.
+
+This is the entry point the discrete-event experiments (E1-E3) and the
+examples use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.maxfair import Assignment
+from repro.core.replication import ReplicationPlan
+from repro.metrics.response import QueryOutcome
+from repro.model.system import SystemInstance
+from repro.model.workload import QueryWorkload
+from repro.overlay import messages as m
+from repro.overlay.adaptation import (
+    AdaptationConfig,
+    AdaptationCoordinator,
+    AdaptationOutcome,
+)
+from repro.overlay.cluster import build_cluster_graph
+from repro.overlay.peer import DocInfo, Peer, PeerConfig, PeerHooks
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+
+__all__ = ["P2PSystemConfig", "P2PSystem"]
+
+
+@dataclass(frozen=True, slots=True)
+class P2PSystemConfig:
+    """Deployment-level tunables."""
+
+    base_latency: float = 0.05
+    bandwidth: float | None = 10_000_000.0
+    cluster_graph_degree: int = 4
+    nrt_capacity: int = 512
+    #: how many random members of each *foreign* cluster a node knows.
+    remote_nrt_sample: int = 4
+    #: requester-side query cache size in documents (0 = off).
+    cache_capacity: int = 0
+    #: where the Section 3.1 cluster metadata lives: ``replicated`` = every
+    #: node can locate holders (the pure-P2P reading); ``super_peer`` =
+    #: only each cluster's most capable node can, and other members route
+    #: document lookups through it (the hybrid reading).
+    metadata_mode: str = "replicated"
+    seed: int = 0
+    peer: PeerConfig = field(default_factory=PeerConfig)
+
+    def __post_init__(self) -> None:
+        if self.metadata_mode not in ("replicated", "super_peer"):
+            raise ValueError(
+                f"metadata_mode must be 'replicated' or 'super_peer', "
+                f"got {self.metadata_mode!r}"
+            )
+
+
+@dataclass(slots=True)
+class _QueryRecord:
+    outcome_args: dict
+    responders: set[int] = field(default_factory=set)
+
+
+class _SystemHooks(PeerHooks):
+    """Routes peer callbacks into the system's bookkeeping."""
+
+    def __init__(self, system: "P2PSystem") -> None:
+        self.system = system
+
+    def on_query_response(self, peer: Peer, response: m.QueryResponse) -> None:
+        record = self.system._queries.get(response.query_id)
+        if record is None:
+            return
+        args = record.outcome_args
+        if args["first_response_at"] is None:
+            args["first_response_at"] = self.system.sim.now
+            args["first_response_hops"] = response.hops
+        record.responders.add(response.responder_id)
+        args["results"] += len(response.doc_ids)
+
+    def on_query_failed(self, peer: Peer, query_id: int, reason: str) -> None:
+        record = self.system._queries.get(query_id)
+        if record is not None:
+            record.outcome_args["failed"] = True
+
+    def on_cluster_joined(self, peer: Peer, cluster_id: int) -> None:
+        self.system._register_membership(peer, cluster_id)
+
+    def on_document_stored(self, peer: Peer, doc_id: int) -> None:
+        self.system._doc_holders.setdefault(doc_id, set()).add(peer.node_id)
+
+    def on_document_dropped(self, peer: Peer, doc_id: int) -> None:
+        holders = self.system._doc_holders.get(doc_id)
+        if holders is not None:
+            holders.discard(peer.node_id)
+
+    def lookup_holders(
+        self, peer: Peer, cluster_id: int, doc_id: int
+    ) -> tuple[int, ...]:
+        """The cluster-metadata lookup (Section 3.1): live holders of a doc.
+
+        In super-peer mode only each cluster's designated super peer holds
+        the metadata; everyone else gets nothing and must route through it.
+        """
+        system = self.system
+        if system.config.metadata_mode == "super_peer":
+            if system._super_peers.get(cluster_id) != peer.node_id:
+                return ()
+        holders = system._doc_holders.get(doc_id, ())
+        return tuple(
+            sorted(
+                node_id
+                for node_id in holders
+                if system.network.is_alive(node_id)
+            )
+        )
+
+    def on_monitoring_complete(
+        self, peer: Peer, cluster_id: int, round_id: int,
+        counts: dict[int, int], weights: dict[int, float], subtree_size: int,
+    ) -> None:
+        coordinator = self.system._active_coordinator
+        if coordinator is not None:
+            coordinator.record_monitoring(cluster_id, counts, weights, subtree_size)
+
+    def on_leave_notice(self, peer: Peer, notice: m.LeaveNotice) -> None:
+        self.system._note_departure(notice)
+
+
+class P2PSystem:
+    """A live simulated deployment of the paper's architecture.
+
+    Parameters
+    ----------
+    instance:
+        The world: documents, categories, nodes.
+    assignment:
+        Complete category -> cluster assignment.
+    plan:
+        Optional replica placement; when omitted, nodes store only their
+        own contributions.
+    config:
+        Deployment tunables.
+    """
+
+    def __init__(
+        self,
+        instance: SystemInstance,
+        assignment: Assignment,
+        plan: ReplicationPlan | None = None,
+        config: P2PSystemConfig | None = None,
+    ) -> None:
+        if not assignment.is_complete():
+            raise ValueError("P2PSystem requires a complete assignment")
+        self.instance = instance
+        self.assignment = assignment.copy()
+        self.plan = plan
+        self.config = config if config is not None else P2PSystemConfig()
+
+        self.rngs = RngRegistry(root_seed=self.config.seed)
+        self.sim = Simulator()
+        self.network = Network(
+            self.sim,
+            base_latency=self.config.base_latency,
+            bandwidth=self.config.bandwidth,
+        )
+        self.hooks = _SystemHooks(self)
+        self._peers: dict[int, Peer] = {}
+        self._cluster_members: dict[int, set[int]] = {
+            cluster_id: set() for cluster_id in range(assignment.n_clusters)
+        }
+        self._graphs: dict[int, object] = {}
+        self._queries: dict[int, _QueryRecord] = {}
+        self._active_coordinator: AdaptationCoordinator | None = None
+        self._departed: set[int] = set()
+        #: cluster metadata (Section 3.1): doc id -> holder node ids.
+        self._doc_holders: dict[int, set[int]] = {}
+        #: cluster id -> designated super peer (super-peer mode only).
+        self._super_peers: dict[int, int] = {}
+        #: queries need globally unique ids across workloads — peers keep
+        #: the ids they have seen for loop detection (the paper's idQ is a
+        #: unique pseudorandom number), so reusing one silences the query.
+        self._next_query_id = 0
+
+        self._bootstrap()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @property
+    def n_categories(self) -> int:
+        return len(self.instance.categories)
+
+    def _doc_info(self, doc_id: int) -> DocInfo:
+        doc = self.instance.documents[doc_id]
+        return DocInfo(
+            doc_id=doc.doc_id, categories=doc.categories, size_bytes=doc.size_bytes
+        )
+
+    def _peer_config(self) -> PeerConfig:
+        """Peer tunables with the system-level knobs applied."""
+        return replace(
+            self.config.peer,
+            nrt_capacity=self.config.nrt_capacity,
+            cache_capacity=self.config.cache_capacity,
+        )
+
+    def _bootstrap(self) -> None:
+        instance, assignment = self.instance, self.assignment
+        protocol_rng = self.rngs.stream("protocol")
+        topology_rng = self.rngs.stream("topology")
+        peer_config = self._peer_config()
+
+        # Create peers.
+        for node_id, node in sorted(instance.nodes.items()):
+            peer = Peer(
+                node_id=node_id,
+                capacity_units=node.capacity_units,
+                network=self.network,
+                rng=protocol_rng,
+                hooks=self.hooks,
+                config=peer_config,
+            )
+            self._peers[node_id] = peer
+
+        # Document placement: replication plan, else bare contributions.
+        if self.plan is not None:
+            for node_id, doc_ids in self.plan.node_docs.items():
+                peer = self._peers.get(node_id)
+                if peer is None:
+                    continue
+                for doc_id in doc_ids:
+                    peer.store_document(self._doc_info(doc_id))
+        for node_id, node in instance.nodes.items():
+            peer = self._peers[node_id]
+            for doc_id in node.contributed_doc_ids:
+                if doc_id not in peer.docs:
+                    peer.store_document(self._doc_info(doc_id))
+
+        # Cluster membership from the assignment (contributors of a
+        # cluster's categories are its members, Section 3.1).
+        for node_id, cats in instance.node_categories.items():
+            for category_id in cats:
+                cluster_id = int(assignment.category_to_cluster[category_id])
+                self._cluster_members[cluster_id].add(node_id)
+
+        # Metadata bootstrap: full DCRT everywhere; NRT complete for own
+        # clusters, sampled for foreign ones.
+        all_nodes = sorted(self._peers)
+        for peer in self._peers.values():
+            for category_id in range(self.n_categories):
+                peer.dcrt.set(
+                    category_id,
+                    int(assignment.category_to_cluster[category_id]),
+                    int(assignment.move_counters[category_id]),
+                )
+        for cluster_id, members in self._cluster_members.items():
+            member_list = sorted(members)
+            members_array = np.array(member_list, dtype=np.int64)
+            for node_id in member_list:
+                peer = self._peers[node_id]
+                # Each member knows a *different* random subset (up to the
+                # NRT capacity) — handing everyone the same ordered list
+                # would make the LRU evict the same members at every node
+                # and starve them of traffic.
+                keep = min(len(member_list), self.config.nrt_capacity)
+                known = members_array[
+                    topology_rng.permutation(len(members_array))[:keep]
+                ]
+                peer.join_cluster(cluster_id, known_members=known.tolist())
+                for member in member_list:
+                    peer.known_capabilities[cluster_id][member] = (
+                        instance.nodes[member].capacity_units
+                    )
+            # Foreign-cluster samples for everyone else.
+            if member_list:
+                for node_id in all_nodes:
+                    if node_id in members:
+                        continue
+                    peer = self._peers[node_id]
+                    sample_size = min(
+                        self.config.remote_nrt_sample, len(member_list)
+                    )
+                    picks = topology_rng.choice(
+                        len(member_list), size=sample_size, replace=False
+                    )
+                    peer.nrt.add_many(
+                        cluster_id, (member_list[int(i)] for i in picks)
+                    )
+
+        # Intra-cluster topology.
+        for cluster_id, members in self._cluster_members.items():
+            if not members:
+                continue
+            graph = build_cluster_graph(
+                cluster_id,
+                sorted(members),
+                topology_rng,
+                degree=self.config.cluster_graph_degree,
+            )
+            self._graphs[cluster_id] = graph
+            for node_id in members:
+                self._peers[node_id].set_cluster_neighbors(
+                    cluster_id, graph.neighbors(node_id)
+                )
+
+        # Super-peer mode: designate each cluster's most capable member
+        # and tell everyone where the metadata lives.
+        if self.config.metadata_mode == "super_peer":
+            for cluster_id, members in self._cluster_members.items():
+                if not members:
+                    continue
+                super_peer = max(
+                    members,
+                    key=lambda n: (instance.nodes[n].capacity_units, n),
+                )
+                self._super_peers[cluster_id] = super_peer
+                for peer in self._peers.values():
+                    peer.super_peers[cluster_id] = super_peer
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def peer(self, node_id: int) -> Peer | None:
+        peer = self._peers.get(node_id)
+        if peer is None or node_id in self._departed:
+            return None
+        return peer
+
+    def alive_peers(self):
+        """All peers that have not departed or crashed."""
+        return [
+            peer
+            for node_id, peer in sorted(self._peers.items())
+            if node_id not in self._departed and self.network.is_alive(node_id)
+        ]
+
+    def peers_in_cluster(self, cluster_id: int):
+        return [
+            self._peers[node_id]
+            for node_id in sorted(self._cluster_members.get(cluster_id, ()))
+            if node_id not in self._departed and self.network.is_alive(node_id)
+        ]
+
+    def cluster_of_node(self, node_id: int) -> set[int]:
+        peer = self._peers.get(node_id)
+        return set(peer.memberships) if peer is not None else set()
+
+    def node_loads(self) -> dict[int, int]:
+        """Requests served per peer — the paper's load measure."""
+        return {
+            node_id: peer.requests_served
+            for node_id, peer in sorted(self._peers.items())
+        }
+
+    def node_capacities(self) -> dict[int, float]:
+        return {
+            node_id: peer.capacity_units
+            for node_id, peer in sorted(self._peers.items())
+        }
+
+    def node_cluster_map(self) -> dict[int, set[int]]:
+        return {
+            node_id: set(peer.memberships)
+            for node_id, peer in sorted(self._peers.items())
+        }
+
+    # ------------------------------------------------------------------
+    # bookkeeping callbacks
+    # ------------------------------------------------------------------
+    def _register_membership(self, peer: Peer, cluster_id: int) -> None:
+        members = self._cluster_members.setdefault(cluster_id, set())
+        if peer.node_id in members:
+            return
+        members.add(peer.node_id)
+        graph = self._graphs.get(cluster_id)
+        if graph is None:
+            graph = build_cluster_graph(
+                cluster_id, [peer.node_id], self.rngs.stream("topology")
+            )
+            self._graphs[cluster_id] = graph
+        else:
+            existing = sorted(graph.members)
+            rng = self.rngs.stream("topology")
+            attach_count = min(self.config.cluster_graph_degree, len(existing))
+            attach = [
+                existing[int(i)]
+                for i in rng.choice(len(existing), size=attach_count, replace=False)
+            ] if existing else []
+            graph.add_member(peer.node_id, attach)
+            for other in attach:
+                other_peer = self._peers.get(other)
+                if other_peer is not None:
+                    other_peer.cluster_neighbors.setdefault(cluster_id, set()).add(
+                        peer.node_id
+                    )
+        peer.set_cluster_neighbors(cluster_id, graph.neighbors(peer.node_id))
+
+    def _note_departure(self, notice: m.LeaveNotice) -> None:
+        members = self._cluster_members.get(notice.cluster_id)
+        if members is not None:
+            members.discard(notice.leaver_id)
+        graph = self._graphs.get(notice.cluster_id)
+        if graph is not None:
+            graph.remove_member(notice.leaver_id)
+
+    def apply_reassignment(self, category_id: int, target_cluster: int) -> None:
+        """Record a Phase-4 move in the authoritative assignment view.
+
+        The destination cluster serves the category with its existing
+        members (content arrives via the paired transfers); contributor
+        membership only changes through the publish protocol.
+        """
+        self.assignment.move(category_id, target_cluster)
+
+    # ------------------------------------------------------------------
+    # workload execution
+    # ------------------------------------------------------------------
+    def run_workload(
+        self,
+        workload: QueryWorkload,
+        query_interval: float = 0.01,
+        settle: bool = True,
+        doc_targeted: bool = True,
+    ) -> list[QueryOutcome]:
+        """Issue a query workload and return per-query outcomes.
+
+        Queries are spaced ``query_interval`` apart; with ``settle`` the
+        simulation runs to quiescence afterwards so all in-flight responses
+        land before outcomes are finalized.  ``doc_targeted`` requests the
+        workload's specific documents (the retrieval case, default);
+        disable it for category-level "any m results" queries.
+        """
+        self._queries.clear()
+        base_time = self.sim.now
+        for index, query in enumerate(workload):
+            requester = self.peer(query.requester_id)
+            if requester is None:
+                continue
+            issue_at = base_time + index * query_interval
+            global_id = self._next_query_id
+            self._next_query_id += 1
+            record = _QueryRecord(
+                outcome_args={
+                    "query_id": query.query_id,
+                    "issued_at": issue_at,
+                    "first_response_at": None,
+                    "first_response_hops": None,
+                    "results": 0,
+                    "wanted": query.m,
+                    "failed": False,
+                }
+            )
+            self._queries[global_id] = record
+            category_id = query.category_ids[0]
+            doc_id = query.target_doc_id if doc_targeted else -1
+            self.sim.schedule_at(
+                issue_at,
+                lambda r=requester, g=global_id, q=query, c=category_id, d=doc_id: (
+                    r.start_query(g, c, q.m, target_doc_id=d)
+                ),
+            )
+        self.sim.run()
+        if settle:
+            self.sim.run()
+        return [
+            QueryOutcome(**record.outcome_args)
+            for record in self._queries.values()
+        ]
+
+    # ------------------------------------------------------------------
+    # dynamics
+    # ------------------------------------------------------------------
+    def leave_node(self, node_id: int) -> None:
+        """Gracefully remove a node (Section 6.3 leave protocol)."""
+        peer = self.peer(node_id)
+        if peer is None:
+            return
+        peer.start_leave()
+        self._departed.add(node_id)
+        for members in self._cluster_members.values():
+            members.discard(node_id)
+        for graph in self._graphs.values():
+            graph.remove_member(node_id)
+        self.sim.run()
+
+    def crash_node(self, node_id: int) -> None:
+        """Fail a node without any goodbye (tests the timeout paths)."""
+        self.network.crash(node_id)
+        self._departed.add(node_id)
+
+    def join_node(
+        self,
+        node_id: int,
+        capacity_units: float,
+        doc_infos: list[DocInfo] = (),
+        bootstrap_id: int | None = None,
+    ) -> Peer:
+        """Admit a new node via the Section 6.3 join protocol."""
+        if node_id in self._peers and node_id not in self._departed:
+            raise ValueError(f"node {node_id} is already a member")
+        peer = Peer(
+            node_id=node_id,
+            capacity_units=capacity_units,
+            network=self.network,
+            rng=self.rngs.stream("protocol"),
+            hooks=self.hooks,
+            config=self._peer_config(),
+        )
+        self._peers[node_id] = peer
+        self._departed.discard(node_id)
+        for info in doc_infos:
+            peer.store_document(info)
+        if bootstrap_id is None:
+            alive = [p.node_id for p in self.alive_peers() if p.node_id != node_id]
+            if not alive:
+                raise RuntimeError("no live node to bootstrap from")
+            rng = self.rngs.stream("protocol")
+            bootstrap_id = alive[int(rng.integers(0, len(alive)))]
+        peer.start_join(bootstrap_id)
+        self.sim.run()
+        return peer
+
+    def run_gossip_rounds(self, rounds: int = 1) -> None:
+        """Run epidemic DCRT dissemination rounds across all live peers."""
+        for _ in range(rounds):
+            for peer in self.alive_peers():
+                peer.gossip_once()
+            self.sim.run()
+
+    def run_adaptation(
+        self, round_id: int = 0, config: AdaptationConfig | None = None
+    ) -> AdaptationOutcome:
+        """Execute one four-phase adaptation round (Section 6.1.2)."""
+        coordinator = AdaptationCoordinator(self, config=config)
+        self._active_coordinator = coordinator
+        try:
+            return coordinator.run_round(round_id)
+        finally:
+            self._active_coordinator = None
+
+    def reset_hit_counters(self) -> None:
+        """Start a fresh observation period (between adaptation rounds)."""
+        for peer in self._peers.values():
+            peer.hit_counters.clear()
+            peer.requests_served = 0

@@ -1,0 +1,28 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates its protocols by simulation; this subpackage is the
+substrate those simulations run on:
+
+* :mod:`repro.sim.engine` — a deterministic discrete-event simulator with
+  an event heap, timers, and stable tie-breaking;
+* :mod:`repro.sim.network` — a message-passing network on top of the
+  engine, with a latency/bandwidth cost model, per-link traffic
+  accounting, and fault injection (message drops, node crashes, network
+  partitions);
+* :mod:`repro.sim.rng` — reproducible random-stream management so that
+  protocol randomness (e.g. random target-node selection) is decoupled
+  from workload randomness.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.network import Message, Network, NetworkStats
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "Event",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "RngRegistry",
+    "Simulator",
+]

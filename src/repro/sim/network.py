@@ -1,0 +1,228 @@
+"""Message-passing network on top of the discrete-event engine.
+
+Models what the paper's protocols need from the internet substrate:
+
+* **Delivery with latency** — a fixed per-hop base latency plus a
+  size-proportional transfer time (``size_bytes / bandwidth``), so small
+  control messages are cheap and document transfers take realistic time.
+* **Traffic accounting** — per-node and global counters of messages and
+  bytes sent, used by the rebalancing-cost experiment (T3) to verify the
+  paper's "large transfer broken into many small pair transfers" claim.
+* **Fault injection** — message drop probability, crashed nodes, and
+  network partitions (Section 6.1's discussion of sub-cluster trees under
+  partitionings).
+
+Handlers are registered per node id; a delivered message invokes
+``handler(message)`` at the destination.  Sending to a crashed node or
+across a partition silently drops the message — exactly the failure model
+the paper's protocols must tolerate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sim.engine import Simulator
+
+__all__ = ["Message", "Network", "NetworkStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """A message in flight.
+
+    ``payload`` is an arbitrary protocol object (the overlay uses the
+    dataclasses in :mod:`repro.overlay.messages`); ``kind`` is a short
+    string used for traffic breakdowns.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: Any
+    size_bytes: int = 256
+    sent_at: float = 0.0
+
+
+@dataclass(slots=True)
+class NetworkStats:
+    """Cumulative traffic counters."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+    bytes_by_kind: dict[str, int] = field(default_factory=dict)
+
+    def record_sent(self, message: Message) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += message.size_bytes
+        self.by_kind[message.kind] = self.by_kind.get(message.kind, 0) + 1
+        self.bytes_by_kind[message.kind] = (
+            self.bytes_by_kind.get(message.kind, 0) + message.size_bytes
+        )
+
+
+class Network:
+    """A simulated network connecting protocol handlers.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator driving delivery.
+    base_latency:
+        One-way delivery latency for a zero-size message (time units).
+    bandwidth:
+        Bytes per time unit; transfer time is ``size / bandwidth`` on top
+        of the base latency.  ``None`` means size does not affect latency.
+    drop_probability:
+        Probability an arbitrary message is lost in transit.
+    rng:
+        Random generator for drop decisions (only consulted when
+        ``drop_probability > 0``, keeping fault-free runs deterministic).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        base_latency: float = 0.05,
+        bandwidth: float | None = 1_000_000.0,
+        drop_probability: float = 0.0,
+        rng=None,
+    ) -> None:
+        if base_latency < 0:
+            raise ValueError(f"base_latency must be >= 0, got {base_latency}")
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError(
+                f"drop_probability must be in [0, 1), got {drop_probability}"
+            )
+        if drop_probability > 0.0 and rng is None:
+            raise ValueError("drop_probability > 0 requires an rng")
+        self.sim = sim
+        self.base_latency = base_latency
+        self.bandwidth = bandwidth
+        self.drop_probability = drop_probability
+        self.rng = rng
+        self.stats = NetworkStats()
+        self._handlers: dict[int, Callable[[Message], None]] = {}
+        self._crashed: set[int] = set()
+        #: node id -> partition label; nodes in different partitions cannot
+        #: communicate.  Unlabelled nodes share the default partition.
+        self._partition: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def register(self, node_id: int, handler: Callable[[Message], None]) -> None:
+        """Attach a node's message handler (joins the network)."""
+        self._handlers[node_id] = handler
+        self._crashed.discard(node_id)
+
+    def unregister(self, node_id: int) -> None:
+        """Detach a node (graceful leave)."""
+        self._handlers.pop(node_id, None)
+
+    def crash(self, node_id: int) -> None:
+        """Mark a node crashed: it silently loses all traffic."""
+        self._crashed.add(node_id)
+
+    def recover(self, node_id: int) -> None:
+        """Clear a node's crashed flag."""
+        self._crashed.discard(node_id)
+
+    def is_alive(self, node_id: int) -> bool:
+        return node_id in self._handlers and node_id not in self._crashed
+
+    # ------------------------------------------------------------------
+    # partitions
+    # ------------------------------------------------------------------
+    def set_partition(self, node_ids, label: int) -> None:
+        """Place ``node_ids`` into partition ``label``."""
+        for node_id in node_ids:
+            self._partition[node_id] = label
+
+    def heal_partitions(self) -> None:
+        """Merge all partitions back into one network."""
+        self._partition.clear()
+
+    def _same_partition(self, a: int, b: int) -> bool:
+        return self._partition.get(a, 0) == self._partition.get(b, 0)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def latency_for(self, size_bytes: int) -> float:
+        """Delivery latency of a message of ``size_bytes``."""
+        transfer = 0.0 if self.bandwidth is None else size_bytes / self.bandwidth
+        return self.base_latency + transfer
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        payload: Any,
+        size_bytes: int = 256,
+    ) -> Message:
+        """Send a message; delivery is scheduled on the simulator.
+
+        Messages to dead/partitioned destinations, or unlucky under the
+        drop probability, are counted as dropped and never delivered — the
+        sender gets no error (UDP-like semantics; protocols needing
+        reliability implement their own acknowledgements).
+        """
+        message = Message(
+            src=src,
+            dst=dst,
+            kind=kind,
+            payload=payload,
+            size_bytes=size_bytes,
+            sent_at=self.sim.now,
+        )
+        self.stats.record_sent(message)
+
+        dropped = (
+            not self.is_alive(dst)
+            or src in self._crashed
+            or not self._same_partition(src, dst)
+            or (
+                self.drop_probability > 0.0
+                and self.rng.random() < self.drop_probability
+            )
+        )
+        if dropped:
+            self.stats.messages_dropped += 1
+            return message
+
+        def deliver() -> None:
+            # Re-check liveness at delivery time: the destination may have
+            # crashed or left while the message was in flight.
+            handler = self._handlers.get(dst)
+            if handler is None or dst in self._crashed:
+                self.stats.messages_dropped += 1
+                return
+            self.stats.messages_delivered += 1
+            handler(message)
+
+        self.sim.schedule(self.latency_for(size_bytes), deliver)
+        return message
+
+    def broadcast(
+        self,
+        src: int,
+        dsts,
+        kind: str,
+        payload: Any,
+        size_bytes: int = 256,
+    ) -> int:
+        """Send the same payload to many destinations; returns the count."""
+        count = 0
+        for dst in dsts:
+            if dst != src:
+                self.send(src, dst, kind, payload, size_bytes=size_bytes)
+                count += 1
+        return count

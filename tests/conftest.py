@@ -1,0 +1,64 @@
+"""Shared fixtures: small, fast system instances and assignments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.maxfair import maxfair
+from repro.core.popularity import build_category_stats
+from repro.core.replication import plan_replication
+from repro.model.system import SystemConfig, build_system
+
+
+@pytest.fixture(scope="session")
+def small_config() -> SystemConfig:
+    """A tiny but structurally complete configuration."""
+    return SystemConfig(
+        n_docs=800,
+        n_nodes=120,
+        n_categories=20,
+        n_clusters=5,
+        seed=42,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_instance(small_config):
+    """A built instance shared by read-only tests."""
+    return build_system(small_config)
+
+
+@pytest.fixture()
+def mutable_instance(small_config):
+    """A fresh instance per test, safe to mutate."""
+    return build_system(small_config)
+
+
+@pytest.fixture(scope="session")
+def small_stats(small_instance):
+    return build_category_stats(small_instance)
+
+
+@pytest.fixture(scope="session")
+def small_assignment(small_instance, small_stats):
+    return maxfair(small_instance, stats=small_stats)
+
+
+@pytest.fixture(scope="session")
+def small_plan(small_instance, small_assignment):
+    return plan_replication(small_instance, small_assignment, n_reps=2, hot_mass=0.35)
+
+
+@pytest.fixture(scope="session")
+def uniform_instance():
+    """A near-uniform-category instance for scenario-contrast tests."""
+    return build_system(
+        SystemConfig(
+            n_docs=800,
+            n_nodes=120,
+            n_categories=20,
+            n_clusters=5,
+            scenario="uniform",
+            seed=43,
+        )
+    )

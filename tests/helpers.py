@@ -1,0 +1,118 @@
+"""Hand-wired micro-overlays for protocol unit tests.
+
+These build a handful of peers with explicit memberships, neighbour sets,
+and stored documents — no SystemInstance machinery — so each protocol
+behaviour can be pinned in isolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.overlay.peer import DocInfo, Peer, PeerConfig, PeerHooks
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+
+class RecordingHooks(PeerHooks):
+    """Hooks that record every callback and serve a holder directory."""
+
+    def __init__(self) -> None:
+        self.responses = []
+        self.failures = []
+        self.joined = []
+        self.monitoring = []
+        self.load_reports = []
+        self.transfers = []
+        self.leaves = []
+        self.holders: dict[int, set[int]] = {}
+
+    def on_query_response(self, peer, response):
+        self.responses.append((peer.node_id, response))
+
+    def on_query_failed(self, peer, query_id, reason):
+        self.failures.append((peer.node_id, query_id, reason))
+
+    def on_cluster_joined(self, peer, cluster_id):
+        self.joined.append((peer.node_id, cluster_id))
+
+    def on_monitoring_complete(
+        self, peer, cluster_id, round_id, counts, weights, subtree_size
+    ):
+        self.monitoring.append(
+            (peer.node_id, cluster_id, round_id, dict(counts), dict(weights),
+             subtree_size)
+        )
+
+    def on_load_report(self, peer, report):
+        self.load_reports.append((peer.node_id, report))
+
+    def on_transfer_complete(self, peer, category_id, doc_ids):
+        self.transfers.append((peer.node_id, category_id, doc_ids))
+
+    def on_leave_notice(self, peer, notice):
+        self.leaves.append((peer.node_id, notice))
+
+    def on_document_stored(self, peer, doc_id):
+        self.holders.setdefault(doc_id, set()).add(peer.node_id)
+
+    def on_document_dropped(self, peer, doc_id):
+        self.holders.get(doc_id, set()).discard(peer.node_id)
+
+    def lookup_holders(self, peer, cluster_id, doc_id):
+        return tuple(sorted(self.holders.get(doc_id, ())))
+
+
+class MicroOverlay:
+    """A tiny overlay with explicit wiring."""
+
+    def __init__(self, seed: int = 0, **network_kwargs) -> None:
+        self.sim = Simulator()
+        self.network = Network(self.sim, **network_kwargs)
+        self.rng = np.random.default_rng(seed)
+        self.hooks = RecordingHooks()
+        self.peers: dict[int, Peer] = {}
+
+    def add_peer(
+        self, node_id: int, capacity: float = 1.0, config: PeerConfig | None = None
+    ) -> Peer:
+        peer = Peer(
+            node_id=node_id,
+            capacity_units=capacity,
+            network=self.network,
+            rng=self.rng,
+            hooks=self.hooks,
+            config=config or PeerConfig(),
+        )
+        self.peers[node_id] = peer
+        return peer
+
+    def wire_cluster(
+        self, cluster_id: int, member_ids, edges, category_map=None
+    ) -> None:
+        """Make ``member_ids`` a cluster with the given neighbour edges.
+
+        ``category_map``: category id -> cluster id entries installed in
+        every member's DCRT (defaults to nothing).
+        """
+        member_ids = list(member_ids)
+        for node_id in member_ids:
+            peer = self.peers[node_id]
+            peer.join_cluster(cluster_id, known_members=member_ids)
+        for a, b in edges:
+            self.peers[a].cluster_neighbors.setdefault(cluster_id, set()).add(b)
+            self.peers[b].cluster_neighbors.setdefault(cluster_id, set()).add(a)
+        if category_map:
+            for node_id in self.peers:
+                for category_id, cluster in category_map.items():
+                    self.peers[node_id].dcrt.set(category_id, cluster)
+
+    def give_document(
+        self, node_id: int, doc_id: int, categories, size: int = 1000
+    ) -> None:
+        self.peers[node_id].store_document(
+            DocInfo(doc_id=doc_id, categories=tuple(categories), size_bytes=size)
+        )
+
+    def run(self) -> None:
+        self.sim.run()

@@ -1,0 +1,91 @@
+"""Tests for repro.core.baselines — naive assignment strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    ASSIGNMENT_STRATEGIES,
+    assign_with_strategy,
+    hash_assignment,
+    lpt_assignment,
+    random_assignment,
+    round_robin_assignment,
+)
+from repro.core.maxfair import achieved_fairness
+
+
+class TestRandomAssignment:
+    def test_complete_and_in_range(self):
+        a = random_assignment(50, 7, seed=1)
+        assert a.is_complete()
+        assert a.category_to_cluster.max() < 7
+        assert a.category_to_cluster.min() >= 0
+
+    def test_seeded(self):
+        a = random_assignment(50, 7, seed=1)
+        b = random_assignment(50, 7, seed=1)
+        assert a.category_to_cluster.tolist() == b.category_to_cluster.tolist()
+
+
+class TestRoundRobin:
+    def test_deals_evenly(self):
+        a = round_robin_assignment(10, 3)
+        counts = np.bincount(a.category_to_cluster, minlength=3)
+        assert counts.max() - counts.min() <= 1
+
+    def test_mapping(self):
+        a = round_robin_assignment(6, 3)
+        assert a.category_to_cluster.tolist() == [0, 1, 2, 0, 1, 2]
+
+
+class TestHashAssignment:
+    def test_stable_across_calls(self):
+        a = hash_assignment(100, 10)
+        b = hash_assignment(100, 10)
+        assert a.category_to_cluster.tolist() == b.category_to_cluster.tolist()
+
+    def test_roughly_uniform(self):
+        a = hash_assignment(5000, 10)
+        counts = np.bincount(a.category_to_cluster, minlength=10)
+        assert counts.min() > 300  # expected 500 each
+
+    def test_in_range(self):
+        a = hash_assignment(100, 7)
+        assert a.category_to_cluster.max() < 7
+
+
+class TestLPT:
+    def test_complete(self, small_stats):
+        a = lpt_assignment(small_stats, 5)
+        assert a.is_complete()
+
+    def test_reasonable_fairness(self, small_instance, small_stats):
+        a = lpt_assignment(small_stats, small_instance.n_clusters)
+        assert achieved_fairness(small_instance, a, stats=small_stats) > 0.5
+
+
+class TestFrontDoor:
+    def test_all_strategies_run(self, small_instance, small_stats):
+        for strategy in ASSIGNMENT_STRATEGIES:
+            a = assign_with_strategy(
+                small_instance, strategy, stats=small_stats, seed=3
+            )
+            assert a.is_complete(), strategy
+
+    def test_maxfair_wins_or_ties(self, small_instance, small_stats):
+        scores = {
+            strategy: achieved_fairness(
+                small_instance,
+                assign_with_strategy(
+                    small_instance, strategy, stats=small_stats, seed=3
+                ),
+                stats=small_stats,
+            )
+            for strategy in ASSIGNMENT_STRATEGIES
+        }
+        best = max(scores.values())
+        assert scores["maxfair"] == pytest.approx(best, abs=1e-9)
+
+    def test_unknown_strategy_rejected(self, small_instance):
+        with pytest.raises(ValueError):
+            assign_with_strategy(small_instance, "magic")

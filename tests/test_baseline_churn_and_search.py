@@ -1,0 +1,141 @@
+"""Tests: Chord churn and the [7] search strategy variants."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.chord import ChordNetwork
+from repro.baselines.gnutella import GnutellaNetwork
+
+
+class TestChordChurn:
+    def _ring(self, n=50):
+        network = ChordNetwork(range(n), bits=20)
+        network.store_all(range(500))
+        return network
+
+    def test_join_preserves_all_keys(self):
+        network = self._ring()
+        network.join(label=999)
+        stored = sorted(d for node in network.nodes.values() for d in node.keys)
+        assert stored == list(range(500))
+
+    def test_join_takes_over_correct_range(self):
+        network = self._ring()
+        new_id = network.join(label=999)
+        newcomer = network.nodes[new_id]
+        for doc_id in newcomer.keys:
+            assert network.store(doc_id) == new_id  # idempotent re-store
+
+    def test_lookup_correct_after_join(self):
+        network = self._ring()
+        network.join(label=999)
+        for doc_id in (0, 100, 499):
+            holder, _ = network.lookup(0, doc_id)
+            assert doc_id in network.nodes[holder].keys
+
+    def test_leave_moves_keys_to_successor(self):
+        network = self._ring()
+        victim = network.nodes[network._ring[3]].label
+        keys_before = set(network.nodes[network._ring[3]].keys)
+        network.leave(victim)
+        stored = sorted(d for node in network.nodes.values() for d in node.keys)
+        assert stored == list(range(500))
+        if keys_before:
+            for doc_id in keys_before:
+                holder, _ = network.lookup(0, doc_id)
+                assert doc_id in network.nodes[holder].keys
+
+    def test_join_duplicate_label_rejected(self):
+        network = self._ring()
+        with pytest.raises(ValueError):
+            network.join(label=0)
+
+    def test_leave_unknown_label_rejected(self):
+        network = self._ring()
+        with pytest.raises(KeyError):
+            network.leave(label=424242)
+
+    def test_cannot_empty_the_ring(self):
+        network = ChordNetwork([1], bits=20)
+        with pytest.raises(ValueError):
+            network.leave(1)
+
+    def test_churn_storm_keeps_ring_consistent(self):
+        network = self._ring(30)
+        rng = np.random.default_rng(5)
+        next_label = 1000
+        for _ in range(20):
+            if rng.random() < 0.5 and len(network.nodes) > 2:
+                labels = [node.label for node in network.nodes.values()]
+                network.leave(labels[int(rng.integers(0, len(labels)))])
+            else:
+                network.join(next_label)
+                next_label += 1
+        stored = sorted(d for node in network.nodes.values() for d in node.keys)
+        assert stored == list(range(500))
+        holder, hops = network.lookup(0, 123)
+        assert 123 in network.nodes[holder].keys
+
+
+class TestSearchStrategies:
+    @pytest.fixture()
+    def network(self):
+        rng = np.random.default_rng(7)
+        net = GnutellaNetwork(range(300), rng, degree=4)
+        holders = rng.integers(0, 300, size=(120, 3))
+        for doc_id in range(120):
+            net.place_document(doc_id, {int(h) for h in holders[doc_id]})
+        return net
+
+    def test_iterative_deepening_finds_what_flood_finds(self, network):
+        rng = np.random.default_rng(8)
+        queries = list(range(60))
+        flood_results, _ = network.run_queries(
+            queries, rng, ttl=7, strategy="flood"
+        )
+        deep_results, _ = network.run_queries(
+            queries, np.random.default_rng(8), strategy="iterative_deepening"
+        )
+        for flood_result, deep_result in zip(flood_results, deep_results):
+            assert deep_result.found == flood_result.found
+
+    def test_iterative_deepening_cheaper_on_average(self, network):
+        """[7]'s claim: most content is near, so shallow-first saves
+        messages versus always flooding to the full TTL of 7."""
+        queries = list(range(120)) * 2
+        flood_results, _ = network.run_queries(
+            queries, np.random.default_rng(9), ttl=7, strategy="flood"
+        )
+        deep_results, _ = network.run_queries(
+            queries, np.random.default_rng(9), strategy="iterative_deepening"
+        )
+        flood_msgs = np.mean([r.messages for r in flood_results])
+        deep_msgs = np.mean([r.messages for r in deep_results])
+        assert deep_msgs < flood_msgs
+
+    def test_random_walk_bounded_messages(self, network):
+        results, _ = network.run_queries(
+            list(range(60)),
+            np.random.default_rng(10),
+            strategy="random_walk",
+        )
+        assert all(r.messages <= 4 * 128 for r in results)
+        found = sum(r.found for r in results)
+        assert found / len(results) > 0.5  # walkers usually succeed
+
+    def test_unknown_strategy_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.run_queries([1], np.random.default_rng(0), strategy="psychic")
+
+    def test_local_hits_cost_nothing_everywhere(self, network):
+        network.place_document(999, [42])
+        for strategy in ("flood", "iterative_deepening", "random_walk"):
+            if strategy == "random_walk":
+                result = network.random_walk(42, 999, np.random.default_rng(1))
+            elif strategy == "flood":
+                result = network.flood(42, 999, ttl=7)
+            else:
+                result = network.iterative_deepening(42, 999)
+            assert result.found
+            assert result.hops == 0
+            assert result.messages == 0

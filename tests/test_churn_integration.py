@@ -1,0 +1,77 @@
+"""Integration: Poisson churn schedules driving a live system."""
+
+import pytest
+
+from repro.core.maxfair import maxfair
+from repro.core.replication import plan_replication
+from repro.metrics.response import summarize_responses
+from repro.model.workload import (
+    make_query_workload,
+    node_churn_events,
+    zipf_category_scenario,
+)
+from repro.overlay.system import P2PSystem
+
+
+@pytest.fixture()
+def churny_world():
+    instance = zipf_category_scenario(scale=0.02, seed=81)
+    assignment = maxfair(instance)
+    plan = plan_replication(instance, assignment, n_reps=2, hot_mass=0.35)
+    system = P2PSystem(instance, assignment, plan=plan)
+    return instance, system
+
+
+class TestScheduledChurn:
+    def test_system_survives_poisson_churn(self, churny_world):
+        instance, system = churny_world
+        events = node_churn_events(
+            instance, duration=50.0, leave_rate=0.4, join_rate=0.2, seed=82
+        )
+        assert events, "expected a non-trivial churn schedule"
+        applied_leaves = applied_joins = 0
+        for event in events:
+            if event.kind == "leave" and system.peer(event.node_id) is not None:
+                system.leave_node(event.node_id)
+                applied_leaves += 1
+            elif event.kind == "join":
+                system.join_node(event.node_id, capacity_units=2.0)
+                applied_joins += 1
+        assert applied_leaves > 0
+        assert applied_joins > 0
+
+        outcomes = system.run_workload(make_query_workload(instance, 800, seed=83))
+        stats = summarize_responses(outcomes)
+        assert stats.success_rate > 0.9
+
+    def test_adaptation_still_works_after_churn(self, churny_world):
+        instance, system = churny_world
+        for peer in system.alive_peers()[:8]:
+            system.leave_node(peer.node_id)
+        system.run_workload(make_query_workload(instance, 1500, seed=84))
+        outcome = system.run_adaptation(round_id=1)
+        assert outcome.leaders  # clusters still have leaders
+        assert 0.0 <= outcome.observed_fairness <= 1.0
+
+    def test_joiner_can_query_immediately(self, churny_world):
+        from repro.model.workload import Query, QueryWorkload
+
+        instance, system = churny_world
+        new_id = max(instance.nodes) + 99
+        system.join_node(new_id, capacity_units=1.0)
+        # The joiner's metadata snapshot lets it retrieve content at once.
+        target_doc = next(iter(instance.documents.values()))
+        workload = QueryWorkload(
+            queries=[
+                Query(
+                    query_id=0,
+                    requester_id=new_id,
+                    target_doc_id=target_doc.doc_id,
+                    category_ids=target_doc.categories,
+                    m=1,
+                )
+            ]
+        )
+        outcomes = system.run_workload(workload)
+        assert len(outcomes) == 1
+        assert outcomes[0].succeeded

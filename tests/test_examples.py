@@ -1,0 +1,43 @@
+"""The examples must stay runnable — they are the library's front door."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {path.stem for path in ALL_EXAMPLES}
+        assert {
+            "quickstart",
+            "music_sharing",
+            "digital_library",
+            "churn_adaptation",
+            "pure_p2p_search",
+        } <= names
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.stem)
+    def test_example_imports_and_has_main(self, path):
+        module = _load(path)
+        assert callable(getattr(module, "main", None)), path.stem
+        assert module.__doc__, f"{path.stem} needs a module docstring"
+
+    def test_quickstart_runs(self, capsys):
+        module = _load(EXAMPLES_DIR / "quickstart.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "MaxFair achieved fairness" in out
+        assert "maxfair" in out

@@ -1,0 +1,119 @@
+"""Tests for the Gnutella flooding baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gnutella import GnutellaNetwork
+
+
+@pytest.fixture()
+def network():
+    rng = np.random.default_rng(0)
+    net = GnutellaNetwork(range(100), rng, degree=4)
+    return net
+
+
+class TestTopology:
+    def test_connected(self, network):
+        # BFS from node 0 must reach everyone (chain construction).
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in network.nodes[current].neighbors:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        assert seen == set(range(100))
+
+    def test_symmetric_edges(self, network):
+        for node_id, node in network.nodes.items():
+            for neighbor in node.neighbors:
+                assert node_id in network.nodes[neighbor].neighbors
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GnutellaNetwork([], np.random.default_rng(0))
+
+
+class TestFlooding:
+    def test_local_hit_zero_hops(self, network):
+        network.place_document(5, [10])
+        result = network.flood(10, 5, ttl=7)
+        assert result.found
+        assert result.hops == 0
+        assert result.messages == 0
+
+    def test_neighbor_hit_one_hop(self, network):
+        start = 0
+        neighbor = next(iter(network.nodes[0].neighbors))
+        network.place_document(5, [neighbor])
+        result = network.flood(start, 5, ttl=7)
+        assert result.found
+        assert result.hops == 1
+
+    def test_ttl_zero_fails_remote(self, network):
+        network.place_document(5, [50])
+        result = network.flood(0, 5, ttl=0)
+        assert not result.found or 0 == 50
+
+    def test_missing_document_fails(self, network):
+        result = network.flood(0, 424242, ttl=7)
+        assert not result.found
+        assert result.responder is None
+
+    def test_higher_ttl_higher_success(self):
+        rng = np.random.default_rng(2)
+        net = GnutellaNetwork(range(200), rng, degree=3)
+        holders = rng.integers(0, 200, size=100)
+        for doc_id in range(100):
+            net.place_document(doc_id, [int(holders[doc_id])])
+        queries = list(range(100))
+
+        def success(ttl):
+            results, _ = net.run_queries(queries, np.random.default_rng(3), ttl=ttl)
+            return sum(r.found for r in results) / len(results)
+
+        assert success(2) <= success(4) <= success(8)
+
+    def test_messages_grow_with_distance(self, network):
+        # A document far away costs more messages than a nearby one.
+        network.place_document(1, [0])
+        network.place_document(2, [77])
+        near = network.flood(0, 1, ttl=7)
+        far = network.flood(0, 2, ttl=7)
+        if far.found:
+            assert far.messages >= near.messages
+
+    def test_load_accounted_at_responder(self, network):
+        network.place_document(5, [10])
+        network.flood(10, 5, ttl=7)
+        assert network.nodes[10].requests_served == 1
+
+    def test_rejects_negative_ttl(self, network):
+        with pytest.raises(ValueError):
+            network.flood(0, 5, ttl=-1)
+
+    def test_unknown_start_rejected(self, network):
+        with pytest.raises(KeyError):
+            network.flood(4242, 5, ttl=3)
+
+    def test_replicas_shorten_search(self):
+        rng = np.random.default_rng(4)
+        net_single = GnutellaNetwork(range(200), rng, degree=3)
+        rng2 = np.random.default_rng(4)
+        net_replicated = GnutellaNetwork(range(200), rng2, degree=3)
+        net_single.place_document(1, [150])
+        net_replicated.place_document(1, [150, 50, 100, 0])
+        queries = [1] * 50
+        results_single, _ = net_single.run_queries(
+            queries, np.random.default_rng(5), ttl=7
+        )
+        results_replicated, _ = net_replicated.run_queries(
+            queries, np.random.default_rng(5), ttl=7
+        )
+        mean_single = np.mean([r.hops for r in results_single if r.found])
+        mean_replicated = np.mean(
+            [r.hops for r in results_replicated if r.found]
+        )
+        assert mean_replicated <= mean_single

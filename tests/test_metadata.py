@@ -1,0 +1,172 @@
+"""Tests for repro.overlay.metadata — the Figure 1 data structures."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.metadata import DCRT, DCRTEntry, NRT, DocumentTable
+
+
+class TestDocumentTable:
+    def test_add_and_lookup(self):
+        dt = DocumentTable()
+        dt.add(1, (3, 4))
+        assert dt.has_document(1)
+        assert dt.categories_of(1) == (3, 4)
+        assert len(dt) == 1
+
+    def test_remove(self):
+        dt = DocumentTable()
+        dt.add(1, (3,))
+        dt.remove(1)
+        assert not dt.has_document(1)
+        dt.remove(1)  # idempotent
+
+    def test_has_category(self):
+        dt = DocumentTable()
+        dt.add(1, (3,))
+        assert dt.has_category(3)
+        assert not dt.has_category(4)
+
+    def test_docs_in_category(self):
+        dt = DocumentTable()
+        dt.add(1, (3,))
+        dt.add(2, (3, 4))
+        dt.add(5, (4,))
+        assert sorted(dt.docs_in_category(3)) == [1, 2]
+        assert sorted(dt.docs_in_category(4)) == [2, 5]
+
+    def test_rejects_empty_categories(self):
+        with pytest.raises(ValueError):
+            DocumentTable().add(1, ())
+
+
+class TestDCRT:
+    def test_default_cluster_zero(self):
+        # Section 6.2 step 3: zero-document categories map to cluster 0.
+        dcrt = DCRT()
+        assert dcrt.cluster_of(17) == 0
+        assert dcrt.entry(17) == DCRTEntry(0, 0)
+
+    def test_set_and_lookup(self):
+        dcrt = DCRT()
+        dcrt.set(3, cluster_id=5, move_counter=2)
+        assert dcrt.cluster_of(3) == 5
+        assert dcrt.entry(3).move_counter == 2
+
+    def test_merge_higher_counter_wins(self):
+        dcrt = DCRT()
+        dcrt.set(3, 5, move_counter=2)
+        assert dcrt.merge(3, DCRTEntry(7, 3))
+        assert dcrt.cluster_of(3) == 7
+
+    def test_merge_lower_counter_loses(self):
+        # The Section 6.1.2 conflict rule: "the metadata information with
+        # the highest move counter value is kept".
+        dcrt = DCRT()
+        dcrt.set(3, 7, move_counter=3)
+        assert not dcrt.merge(3, DCRTEntry(5, 2))
+        assert dcrt.cluster_of(3) == 7
+
+    def test_merge_equal_counter_keeps_existing(self):
+        dcrt = DCRT()
+        dcrt.set(3, 7, move_counter=3)
+        assert not dcrt.merge(3, DCRTEntry(9, 3))
+        assert dcrt.cluster_of(3) == 7
+
+    def test_merge_into_empty(self):
+        dcrt = DCRT()
+        assert dcrt.merge(3, DCRTEntry(2, 0))
+        assert dcrt.cluster_of(3) == 2
+
+    def test_snapshot_merge_roundtrip(self):
+        a = DCRT()
+        a.set(1, 4, 1)
+        a.set(2, 5, 2)
+        b = DCRT()
+        changed = b.merge_snapshot(a.snapshot())
+        assert changed == 2
+        assert b.cluster_of(1) == 4
+        assert b.cluster_of(2) == 5
+        # Second merge is a no-op.
+        assert b.merge_snapshot(a.snapshot()) == 0
+
+    def test_out_of_order_delivery_converges(self):
+        """Conflicting updates applied in any order give the same result."""
+        updates = [(3, DCRTEntry(5, 1)), (3, DCRTEntry(8, 3)), (3, DCRTEntry(6, 2))]
+        import itertools
+
+        for permutation in itertools.permutations(updates):
+            dcrt = DCRT()
+            for category_id, entry in permutation:
+                dcrt.merge(category_id, entry)
+            assert dcrt.cluster_of(3) == 8
+
+    def test_categories_listing(self):
+        dcrt = DCRT()
+        dcrt.set(5, 1)
+        dcrt.set(2, 1)
+        assert dcrt.categories() == [2, 5]
+        assert len(dcrt) == 2
+
+
+class TestNRT:
+    def test_add_and_list(self):
+        nrt = NRT()
+        nrt.add(1, 10)
+        nrt.add(1, 11)
+        assert nrt.nodes_in(1) == [10, 11]
+        assert 1 in nrt
+
+    def test_lru_eviction(self):
+        # Section 6.2: "an LRU replacement algorithm can be adopted".
+        nrt = NRT(max_nodes_per_cluster=2)
+        nrt.add(1, 10)
+        nrt.add(1, 11)
+        nrt.add(1, 12)
+        assert nrt.nodes_in(1) == [11, 12]
+
+    def test_touch_refreshes_recency(self):
+        nrt = NRT(max_nodes_per_cluster=2)
+        nrt.add(1, 10)
+        nrt.add(1, 11)
+        nrt.add(1, 10)  # refresh 10
+        nrt.add(1, 12)  # evicts 11, not 10
+        assert nrt.nodes_in(1) == [10, 12]
+
+    def test_remove(self):
+        nrt = NRT()
+        nrt.add(1, 10)
+        nrt.remove(1, 10)
+        assert nrt.nodes_in(1) == []
+        assert 1 not in nrt
+
+    def test_remove_node_everywhere(self):
+        nrt = NRT()
+        nrt.add(1, 10)
+        nrt.add(2, 10)
+        nrt.add(2, 11)
+        nrt.remove_node(10)
+        assert nrt.nodes_in(1) == []
+        assert nrt.nodes_in(2) == [11]
+
+    def test_random_node_uniformish(self):
+        nrt = NRT()
+        nrt.add_many(1, range(10))
+        rng = np.random.default_rng(0)
+        picks = [nrt.random_node(1, rng) for _ in range(2000)]
+        counts = np.bincount(picks, minlength=10)
+        assert counts.min() > 120  # expected 200 each
+
+    def test_random_node_empty(self):
+        nrt = NRT()
+        assert nrt.random_node(9, np.random.default_rng(0)) is None
+
+    def test_clusters_listing(self):
+        nrt = NRT()
+        nrt.add(3, 1)
+        nrt.add(1, 1)
+        assert nrt.clusters() == [1, 3]
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            NRT(max_nodes_per_cluster=0)

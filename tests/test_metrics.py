@@ -1,0 +1,121 @@
+"""Tests for repro.metrics: load report cards, response stats, reporting."""
+
+import pytest
+
+from repro.metrics.load import load_report
+from repro.metrics.report import format_kv, format_series, format_table
+from repro.metrics.response import QueryOutcome, summarize_responses
+
+
+class TestLoadReport:
+    def test_basic_counters(self):
+        card = load_report({1: 10, 2: 10, 3: 10})
+        assert card.n_nodes == 3
+        assert card.total_requests == 30
+        assert card.node_fairness == pytest.approx(1.0)
+        assert card.max_node_load == 10
+        assert card.mean_node_load == pytest.approx(10.0)
+        assert card.cv == pytest.approx(0.0)
+
+    def test_capacity_normalization(self):
+        # Loads proportional to capacity are perfectly fair per-unit.
+        loads = {1: 10, 2: 20}
+        capacities = {1: 1.0, 2: 2.0}
+        card = load_report(loads, node_capacities=capacities)
+        assert card.node_fairness < 1.0
+        assert card.node_fairness_normalized == pytest.approx(1.0)
+
+    def test_cluster_fairness_splits_shared_nodes(self):
+        loads = {1: 10, 2: 10}
+        clusters = {1: {0}, 2: {0, 1}}  # node 2 serves two clusters
+        card = load_report(loads, node_clusters=clusters)
+        # cluster 0: 10 + 5, cluster 1: 5.
+        expected = (15 + 5) ** 2 / (2 * (15**2 + 5**2))
+        assert card.cluster_fairness == pytest.approx(expected)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            load_report({})
+
+    def test_rows_render(self):
+        card = load_report({1: 5})
+        rows = dict(card.rows())
+        assert rows["nodes"] == "1"
+
+
+class TestResponseStats:
+    def _outcome(self, qid, hops=1, latency=0.1, results=1, failed=False):
+        return QueryOutcome(
+            query_id=qid,
+            issued_at=1.0,
+            first_response_at=1.0 + latency if results else None,
+            first_response_hops=hops if results else None,
+            results=results,
+            wanted=1,
+            failed=failed,
+        )
+
+    def test_success_accounting(self):
+        stats = summarize_responses(
+            [self._outcome(1), self._outcome(2), self._outcome(3, results=0)]
+        )
+        assert stats.n_queries == 3
+        assert stats.n_succeeded == 2
+        assert stats.n_failed == 1
+        assert stats.success_rate == pytest.approx(2 / 3)
+
+    def test_hop_percentiles(self):
+        outcomes = [self._outcome(i, hops=h) for i, h in enumerate([1, 1, 1, 5])]
+        stats = summarize_responses(outcomes)
+        assert stats.p50_hops == 1.0
+        assert stats.max_hops == 5
+
+    def test_latency(self):
+        outcomes = [self._outcome(1, latency=0.25)]
+        stats = summarize_responses(outcomes)
+        assert stats.mean_latency == pytest.approx(0.25)
+
+    def test_empty(self):
+        stats = summarize_responses([])
+        assert stats.n_queries == 0
+        assert stats.success_rate == 0.0
+        assert stats.mean_hops == 0.0
+
+    def test_outcome_properties(self):
+        good = self._outcome(1)
+        assert good.succeeded
+        assert good.latency == pytest.approx(0.1)
+        bad = self._outcome(2, results=0)
+        assert not bad.succeeded
+        assert bad.latency is None
+
+    def test_rows_render(self):
+        stats = summarize_responses([self._outcome(1)])
+        assert dict(stats.rows())["queries"] == "1"
+
+
+class TestReportFormatting:
+    def test_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        # Columns align: the separator matches the widest cell.
+        assert "--" in lines[1]
+
+    def test_table_with_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_series(self):
+        text = format_series("theta", "fairness", [(0.4, 0.99), (0.8, 0.82)])
+        assert "theta" in text
+        assert "0.99" in text
+
+    def test_kv(self):
+        text = format_kv([("metric", "42")])
+        assert "42" in text

@@ -1,0 +1,176 @@
+"""Tests for repro.sim.network — delivery, faults, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+
+def _make(drop=0.0, rng=None, **kwargs):
+    sim = Simulator()
+    network = Network(sim, drop_probability=drop, rng=rng, **kwargs)
+    return sim, network
+
+
+class TestDelivery:
+    def test_message_delivered_with_latency(self):
+        sim, network = _make(base_latency=0.1, bandwidth=None)
+        received = []
+        network.register(1, lambda msg: received.append((sim.now, msg.payload)))
+        network.send(0, 1, "ping", "hello")
+        sim.run()
+        assert received == [(pytest.approx(0.1), "hello")]
+
+    def test_size_adds_transfer_time(self):
+        sim, network = _make(base_latency=0.1, bandwidth=1000.0)
+        received = []
+        network.register(1, lambda msg: received.append(sim.now))
+        network.send(0, 1, "data", None, size_bytes=500)
+        sim.run()
+        assert received == [pytest.approx(0.6)]
+
+    def test_latency_for(self):
+        _, network = _make(base_latency=0.05, bandwidth=100.0)
+        assert network.latency_for(10) == pytest.approx(0.15)
+
+    def test_unregistered_destination_drops(self):
+        sim, network = _make()
+        network.send(0, 99, "ping", None)
+        sim.run()
+        assert network.stats.messages_dropped == 1
+        assert network.stats.messages_delivered == 0
+
+    def test_broadcast_counts(self):
+        sim, network = _make()
+        received = []
+        for node in (1, 2, 3):
+            network.register(node, lambda msg: received.append(msg.dst))
+        count = network.broadcast(1, [1, 2, 3], "hi", None)
+        sim.run()
+        assert count == 2  # not sent to self
+        assert sorted(received) == [2, 3]
+
+    def test_delivery_order_is_fifo_per_latency(self):
+        sim, network = _make(base_latency=0.1, bandwidth=None)
+        received = []
+        network.register(1, lambda msg: received.append(msg.payload))
+        network.send(0, 1, "a", 1)
+        network.send(0, 1, "b", 2)
+        sim.run()
+        assert received == [1, 2]
+
+
+class TestFaults:
+    def test_crashed_destination_loses_messages(self):
+        sim, network = _make()
+        received = []
+        network.register(1, lambda msg: received.append(msg))
+        network.crash(1)
+        network.send(0, 1, "ping", None)
+        sim.run()
+        assert received == []
+        assert network.stats.messages_dropped == 1
+
+    def test_crash_in_flight(self):
+        # The destination dies while the message travels.
+        sim, network = _make(base_latency=1.0, bandwidth=None)
+        received = []
+        network.register(1, lambda msg: received.append(msg))
+        network.send(0, 1, "ping", None)
+        sim.schedule(0.5, lambda: network.crash(1))
+        sim.run()
+        assert received == []
+        assert network.stats.messages_dropped == 1
+
+    def test_recover(self):
+        sim, network = _make()
+        received = []
+        network.register(1, lambda msg: received.append(msg))
+        network.crash(1)
+        network.recover(1)
+        network.send(0, 1, "ping", None)
+        sim.run()
+        assert len(received) == 1
+
+    def test_crashed_source_cannot_send(self):
+        sim, network = _make()
+        received = []
+        network.register(1, lambda msg: received.append(msg))
+        network.register(0, lambda msg: None)
+        network.crash(0)
+        network.send(0, 1, "ping", None)
+        sim.run()
+        assert received == []
+
+    def test_partition_blocks_cross_traffic(self):
+        sim, network = _make()
+        received = []
+        network.register(1, lambda msg: received.append(msg.src))
+        network.register(2, lambda msg: received.append(msg.src))
+        network.set_partition([1], 1)
+        network.set_partition([2], 2)
+        network.send(1, 2, "x", None)
+        sim.run()
+        assert received == []
+        network.heal_partitions()
+        network.send(1, 2, "x", None)
+        sim.run()
+        assert received == [1]
+
+    def test_same_partition_ok(self):
+        sim, network = _make()
+        received = []
+        network.register(1, lambda msg: None)
+        network.register(2, lambda msg: received.append(msg))
+        network.set_partition([1, 2], 5)
+        network.send(1, 2, "x", None)
+        sim.run()
+        assert len(received) == 1
+
+    def test_random_drops(self):
+        rng = np.random.default_rng(0)
+        sim, network = _make(drop=0.5, rng=rng)
+        received = []
+        network.register(1, lambda msg: received.append(msg))
+        for _ in range(200):
+            network.send(0, 1, "x", None)
+        sim.run()
+        assert 50 < len(received) < 150
+
+    def test_drop_probability_requires_rng(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Network(sim, drop_probability=0.5)
+
+
+class TestAccounting:
+    def test_byte_and_kind_counters(self):
+        sim, network = _make()
+        network.register(1, lambda msg: None)
+        network.send(0, 1, "query", None, size_bytes=100)
+        network.send(0, 1, "query", None, size_bytes=150)
+        network.send(0, 1, "transfer", None, size_bytes=1000)
+        sim.run()
+        stats = network.stats
+        assert stats.messages_sent == 3
+        assert stats.bytes_sent == 1250
+        assert stats.by_kind == {"query": 2, "transfer": 1}
+        assert stats.bytes_by_kind == {"query": 250, "transfer": 1000}
+
+    def test_is_alive(self):
+        _, network = _make()
+        network.register(1, lambda msg: None)
+        assert network.is_alive(1)
+        assert not network.is_alive(2)
+        network.crash(1)
+        assert not network.is_alive(1)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Network(sim, base_latency=-1)
+        with pytest.raises(ValueError):
+            Network(sim, bandwidth=0)
+        with pytest.raises(ValueError):
+            Network(sim, drop_probability=1.0)

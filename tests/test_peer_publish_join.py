@@ -1,0 +1,184 @@
+"""Tests for the publish (Section 6.2) and join/leave (6.3) protocols."""
+
+import pytest
+
+from repro.overlay.metadata import DCRT
+from repro.overlay.peer import DocInfo
+
+from tests.helpers import MicroOverlay
+
+
+class TestPublish:
+    def test_publish_joins_serving_cluster(self):
+        overlay = MicroOverlay()
+        publisher = overlay.add_peer(0)
+        member = overlay.add_peer(1)
+        overlay.wire_cluster(3, [1], edges=[], category_map={7: 3})
+        publisher.dcrt.set(7, 3)
+        publisher.nrt.add(3, 1)
+        publisher.publish_document(DocInfo(doc_id=50, categories=(7,), size_bytes=10))
+        overlay.run()
+        # The publisher stored the document and became a cluster member.
+        assert publisher.dt.has_document(50)
+        assert 3 in publisher.memberships
+        # The receiver recorded the publisher in its NRT (step 5).
+        assert 0 in member.nrt.nodes_in(3)
+
+    def test_second_publish_same_category_is_silent(self):
+        overlay = MicroOverlay()
+        publisher = overlay.add_peer(0)
+        overlay.add_peer(1)
+        overlay.wire_cluster(3, [1], edges=[], category_map={7: 3})
+        publisher.dcrt.set(7, 3)
+        publisher.nrt.add(3, 1)
+        publisher.publish_document(DocInfo(doc_id=50, categories=(7,), size_bytes=10))
+        overlay.run()
+        sent_before = overlay.network.stats.by_kind.get("publish_request", 0)
+        publisher.publish_document(DocInfo(doc_id=51, categories=(7,), size_bytes=10))
+        overlay.run()
+        sent_after = overlay.network.stats.by_kind.get("publish_request", 0)
+        # Step 2: the node already announced its contribution to category 7.
+        assert sent_after == sent_before
+        assert publisher.dt.has_document(51)
+
+    def test_publish_chases_moved_category(self):
+        """Step 5: if the category moved, the reply redirects the publisher
+        to the new cluster, repeated until the correct cluster is found."""
+        overlay = MicroOverlay()
+        publisher = overlay.add_peer(0)
+        old_member = overlay.add_peer(1)
+        new_member = overlay.add_peer(2)
+        overlay.wire_cluster(3, [1], edges=[])
+        overlay.wire_cluster(4, [2], edges=[])
+        # The category is now served by cluster 4 (move counter 1).
+        old_member.dcrt.set(7, 4, move_counter=1)
+        old_member.nrt.add(4, 2)
+        new_member.dcrt.set(7, 4, move_counter=1)
+        # The publisher believes the stale mapping.
+        publisher.dcrt.set(7, 3, move_counter=0)
+        publisher.nrt.add(3, 1)
+        publisher.nrt.add(4, 2)
+        publisher.publish_document(DocInfo(doc_id=50, categories=(7,), size_bytes=10))
+        overlay.run()
+        assert publisher.dcrt.cluster_of(7) == 4
+        assert 4 in publisher.memberships
+        assert 0 in new_member.nrt.nodes_in(4)
+
+    def test_publish_with_nobody_known_adopts_membership(self):
+        overlay = MicroOverlay()
+        publisher = overlay.add_peer(0)
+        publisher.publish_document(DocInfo(doc_id=50, categories=(7,), size_bytes=10))
+        overlay.run()
+        # Unknown category defaults to cluster 0; with no known members the
+        # publisher adopts the membership locally.
+        assert DCRT.DEFAULT_CLUSTER in publisher.memberships
+
+    def test_dummy_publish_free_rider(self):
+        overlay = MicroOverlay()
+        rider = overlay.add_peer(0)
+        member = overlay.add_peer(1)
+        overlay.wire_cluster(0, [1], edges=[])
+        rider.nrt.add(0, 1)
+        rider.dummy_publish()
+        overlay.run()
+        # Section 6.3: the free rider "will perform a dummy publish, so that
+        # it will be added to a cluster and receive further updates".
+        assert 0 in rider.memberships
+        assert 0 in member.nrt.nodes_in(0)
+        assert len(rider.dt) == 0
+
+
+class TestJoin:
+    def test_join_transfers_metadata_and_publishes(self):
+        overlay = MicroOverlay()
+        bootstrap = overlay.add_peer(0)
+        overlay.wire_cluster(2, [0], edges=[], category_map={7: 2})
+        bootstrap.dcrt.set(7, 2, move_counter=1)
+        joiner = overlay.add_peer(5)
+        joiner.store_document(DocInfo(doc_id=60, categories=(7,), size_bytes=10))
+        joiner.start_join(bootstrap_id=0)
+        overlay.run()
+        # Metadata arrived (step 2)...
+        assert joiner.dcrt.cluster_of(7) == 2
+        # ...and the publish protocol ran for the contributed document.
+        assert 2 in joiner.memberships
+        assert 5 in bootstrap.nrt.nodes_in(2)
+
+    def test_free_rider_join_does_dummy_publish(self):
+        overlay = MicroOverlay()
+        bootstrap = overlay.add_peer(0)
+        overlay.wire_cluster(0, [0], edges=[])
+        joiner = overlay.add_peer(5)
+        joiner.start_join(bootstrap_id=0)
+        overlay.run()
+        assert 0 in joiner.memberships
+
+
+class TestLeave:
+    def test_leave_notifies_cluster_and_unregisters(self):
+        overlay = MicroOverlay()
+        leaver = overlay.add_peer(0)
+        stayer = overlay.add_peer(1)
+        overlay.wire_cluster(2, [0, 1], edges=[(0, 1)])
+        overlay.give_document(0, 60, [7])
+        leaver.start_leave()
+        overlay.run()
+        # The stayer removed the leaver from its NRT and neighbours.
+        assert 0 not in stayer.nrt.nodes_in(2)
+        assert 0 not in stayer.cluster_neighbors[2]
+        # The notice listed the departing documents.
+        assert overlay.hooks.leaves
+        _, notice = overlay.hooks.leaves[0]
+        assert notice.doc_ids == (60,)
+        # The leaver no longer receives traffic.
+        assert not overlay.network.is_alive(0)
+
+    def test_leave_clears_capability_knowledge(self):
+        overlay = MicroOverlay()
+        leaver = overlay.add_peer(0, capacity=9.0)
+        stayer = overlay.add_peer(1, capacity=1.0)
+        overlay.wire_cluster(2, [0, 1], edges=[(0, 1)])
+        stayer.known_capabilities[2][0] = 9.0
+        leaver.start_leave()
+        overlay.run()
+        assert 0 not in stayer.known_capabilities[2]
+
+
+class TestCapabilityGossipAndElection:
+    def test_gossip_spreads_capabilities(self):
+        overlay = MicroOverlay()
+        for node_id, capacity in ((0, 1.0), (1, 5.0), (2, 3.0)):
+            overlay.add_peer(node_id, capacity=capacity)
+        overlay.wire_cluster(2, [0, 1, 2], edges=[(0, 1), (1, 2)])
+        # Two gossip rounds: 0's info reaches 2 through 1.
+        for _ in range(2):
+            for peer in overlay.peers.values():
+                peer.announce_capabilities()
+            overlay.run()
+        assert overlay.peers[2].known_capabilities[2][0] == 1.0
+
+    def test_everyone_elects_the_most_powerful(self):
+        overlay = MicroOverlay()
+        for node_id, capacity in ((0, 1.0), (1, 5.0), (2, 3.0)):
+            overlay.add_peer(node_id, capacity=capacity)
+        overlay.wire_cluster(2, [0, 1, 2], edges=[(0, 1), (1, 2)])
+        for _ in range(2):
+            for peer in overlay.peers.values():
+                peer.announce_capabilities()
+            overlay.run()
+        for peer in overlay.peers.values():
+            peer.elect_leaders()
+            assert peer.believed_leader[2] == 1
+
+    def test_election_with_alive_filter(self):
+        overlay = MicroOverlay()
+        for node_id, capacity in ((0, 1.0), (1, 5.0)):
+            overlay.add_peer(node_id, capacity=capacity)
+        overlay.wire_cluster(2, [0, 1], edges=[(0, 1)])
+        for _ in range(2):
+            for peer in overlay.peers.values():
+                peer.announce_capabilities()
+            overlay.run()
+        # Node 1 (the most powerful) died: 0 must elect someone alive.
+        overlay.peers[0].elect_leaders(alive={0})
+        assert overlay.peers[0].believed_leader[2] == 0

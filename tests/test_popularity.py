@@ -1,0 +1,228 @@
+"""Tests for repro.core.popularity — the four Section 4 capacity models."""
+
+import numpy as np
+import pytest
+
+from repro.core.maxfair import Assignment
+from repro.core.popularity import (
+    ClusterModel,
+    build_category_stats,
+    cluster_members,
+    normalized_cluster_popularities,
+)
+from repro.model.documents import Document
+from repro.model.nodes import Node
+from repro.model.system import SystemConfig, SystemInstance
+
+
+def _tiny_instance(
+    doc_specs, node_specs, n_categories, n_clusters
+) -> SystemInstance:
+    """Hand-build an instance from (pop, cats, contributor) and (id, units)."""
+    config = SystemConfig(
+        n_docs=len(doc_specs),
+        n_nodes=len(node_specs),
+        n_categories=n_categories,
+        n_clusters=n_clusters,
+        seed=0,
+    )
+    documents = {}
+    from repro.model.documents import Category
+
+    categories = [Category(category_id=i) for i in range(n_categories)]
+    nodes = {nid: Node(node_id=nid, capacity_units=u) for nid, u in node_specs}
+    node_categories: dict[int, list[int]] = {}
+    for doc_id, (pop, cats, contributor) in enumerate(doc_specs):
+        doc = Document(doc_id=doc_id, popularity=pop, categories=tuple(cats))
+        documents[doc_id] = doc
+        nodes[contributor].contribute(doc_id)
+        for c in cats:
+            categories[c].add_document(doc)
+            node_categories.setdefault(contributor, [])
+            if c not in node_categories[contributor]:
+                node_categories[contributor].append(c)
+    for v in node_categories.values():
+        v.sort()
+    return SystemInstance(
+        config=config,
+        documents=documents,
+        categories=categories,
+        nodes=nodes,
+        node_categories=node_categories,
+        _next_doc_id=len(documents),
+    )
+
+
+class TestCategoryStats:
+    def test_popularity_matches_instance(self, small_instance, small_stats):
+        assert np.allclose(
+            small_stats.popularity, small_instance.category_popularity
+        )
+
+    def test_contributor_counts(self, small_instance, small_stats):
+        for category_id in range(len(small_instance.categories)):
+            expected = len(small_instance.contributors_of_category(category_id))
+            assert small_stats.contributor_count[category_id] == expected
+
+    def test_capacity_units_sum(self, small_instance, small_stats):
+        for category_id in range(5):
+            contributors = small_instance.contributors_of_category(category_id)
+            expected = sum(
+                small_instance.nodes[n].capacity_units for n in contributors
+            )
+            assert small_stats.capacity_units[category_id] == pytest.approx(expected)
+
+    def test_storage_weights_sum_to_total_capacity(
+        self, small_instance, small_stats
+    ):
+        # Each contributing node splits its units across its categories, so
+        # the weights must sum to the total capacity of contributing nodes.
+        total = sum(
+            small_instance.nodes[n].capacity_units
+            for n in small_instance.node_categories
+        )
+        assert small_stats.storage_weight.sum() == pytest.approx(total)
+
+    def test_with_popularity_swaps_only_popularity(self, small_stats):
+        new_pop = np.arange(small_stats.n_categories, dtype=float)
+        hybrid = small_stats.with_popularity(new_pop)
+        assert np.array_equal(hybrid.popularity, new_pop)
+        assert hybrid.storage_weight is small_stats.storage_weight
+
+    def test_with_popularity_rejects_bad_length(self, small_stats):
+        with pytest.raises(ValueError):
+            small_stats.with_popularity(np.array([1.0]))
+
+    def test_weights_for_models(self, small_stats):
+        assert (
+            small_stats.weights_for(ClusterModel.UNIFORM_NODES)
+            is small_stats.contributor_count
+        )
+        assert (
+            small_stats.weights_for(ClusterModel.PROC_CAPACITY)
+            is small_stats.capacity_units
+        )
+        assert (
+            small_stats.weights_for(ClusterModel.LIMITED_STORAGE)
+            is small_stats.storage_weight
+        )
+
+
+class TestHandComputedModels:
+    """Pin the formulas of Sections 4.1-4.3.3 on a hand-checkable instance."""
+
+    def _instance(self):
+        # Two categories, two nodes: node 0 (2 units) contributes docs of
+        # category 0 only (popularity 0.6); node 1 (4 units) contributes to
+        # both (0.1 in category 0, 0.3 in category 1).
+        return _tiny_instance(
+            doc_specs=[
+                (0.6, [0], 0),
+                (0.1, [0], 1),
+                (0.3, [1], 1),
+            ],
+            node_specs=[(0, 2.0), (1, 4.0)],
+            n_categories=2,
+            n_clusters=2,
+        )
+
+    def test_uniform_nodes_model(self):
+        instance = self._instance()
+        mapping = np.array([0, 1])
+        values = normalized_cluster_popularities(
+            instance, mapping, model=ClusterModel.UNIFORM_NODES
+        )
+        # cluster 0: p = 0.7, contributors {0, 1} -> count attribution 2.
+        assert values[0] == pytest.approx(0.7 / 2)
+        # cluster 1: p = 0.3, contributor {1}.
+        assert values[1] == pytest.approx(0.3 / 1)
+
+    def test_proc_capacity_model(self):
+        instance = self._instance()
+        mapping = np.array([0, 1])
+        values = normalized_cluster_popularities(
+            instance, mapping, model=ClusterModel.PROC_CAPACITY
+        )
+        assert values[0] == pytest.approx(0.7 / (2.0 + 4.0))
+        assert values[1] == pytest.approx(0.3 / 4.0)
+
+    def test_multi_category_model(self):
+        instance = self._instance()
+        mapping = np.array([0, 1])
+        values = normalized_cluster_popularities(
+            instance, mapping, model=ClusterModel.MULTI_CATEGORY
+        )
+        # Node 0 in cluster 0 only: contributes all 2 units to cluster 0.
+        # Node 1 in both: p(S(1)) = 0.7 + 0.3 = 1.0, so it gives
+        # 4 * 0.7 = 2.8 units to cluster 0 and 4 * 0.3 = 1.2 to cluster 1.
+        assert values[0] == pytest.approx(0.7 / (2.0 + 2.8))
+        assert values[1] == pytest.approx(0.3 / 1.2)
+
+    def test_limited_storage_model(self):
+        instance = self._instance()
+        mapping = np.array([0, 1])
+        values = normalized_cluster_popularities(
+            instance, mapping, model=ClusterModel.LIMITED_STORAGE
+        )
+        # Node 0: stores only category-0 docs -> all 2 units to cluster 0.
+        # Node 1: stored popularity 0.1 (cat 0) + 0.3 (cat 1) = 0.4 ->
+        # 4 * 0.1/0.4 = 1 unit to cluster 0, 4 * 0.3/0.4 = 3 to cluster 1.
+        assert values[0] == pytest.approx(0.7 / (2.0 + 1.0))
+        assert values[1] == pytest.approx(0.3 / 3.0)
+
+    def test_same_cluster_collapses_models(self):
+        # With every category in one cluster, the *exact* models agree:
+        # total popularity over total capacity (6 units).  The additive
+        # per-category attributions count multi-category node 1 once per
+        # category (documented approximation), giving larger denominators.
+        instance = self._instance()
+        mapping = np.array([0, 0])
+        exact = normalized_cluster_popularities(
+            instance, mapping, model=ClusterModel.MULTI_CATEGORY
+        )
+        assert exact[0] == pytest.approx(1.0 / 6.0)
+        storage = normalized_cluster_popularities(
+            instance, mapping, model=ClusterModel.LIMITED_STORAGE
+        )
+        # Storage weights split node 1's units across its categories, so
+        # they do NOT double count: 2 + (1 + 3) = 6.
+        assert storage[0] == pytest.approx(1.0 / 6.0)
+        proc = normalized_cluster_popularities(
+            instance, mapping, model=ClusterModel.PROC_CAPACITY
+        )
+        # Per-category capacity attribution counts node 1 in both
+        # categories: (2 + 4) + 4 = 10.
+        assert proc[0] == pytest.approx(1.0 / 10.0)
+
+
+class TestNormalizedPopularities:
+    def test_unassigned_categories_ignored(self, small_instance, small_stats):
+        mapping = np.full(len(small_instance.categories), -1)
+        values = normalized_cluster_popularities(
+            small_instance, mapping, stats=small_stats
+        )
+        assert np.allclose(values, 0.0)
+
+    def test_rejects_out_of_range_cluster(self, small_instance):
+        mapping = np.zeros(len(small_instance.categories), dtype=int)
+        mapping[0] = small_instance.n_clusters
+        with pytest.raises(ValueError):
+            normalized_cluster_popularities(small_instance, mapping)
+
+    def test_cluster_members_union(self, small_instance, small_assignment):
+        members = cluster_members(
+            small_instance, small_assignment.category_to_cluster
+        )
+        covered = set().union(*members) if members else set()
+        assert covered == set(small_instance.node_categories)
+
+    def test_cluster_members_respects_assignment(
+        self, small_instance, small_assignment
+    ):
+        members = cluster_members(
+            small_instance, small_assignment.category_to_cluster
+        )
+        for node_id, cats in small_instance.node_categories.items():
+            for category_id in cats:
+                cluster = small_assignment.cluster_of(category_id)
+                assert node_id in members[cluster]

@@ -1,0 +1,81 @@
+"""Property-based tests on replica placement and the Chord ring."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.chord import ChordNetwork
+from repro.core.maxfair import maxfair
+from repro.core.popularity import cluster_members
+from repro.core.replication import plan_replication
+from repro.model.system import SystemConfig, build_system
+
+tiny_worlds = st.tuples(
+    st.integers(min_value=40, max_value=200),   # docs
+    st.integers(min_value=10, max_value=40),    # nodes
+    st.integers(min_value=2, max_value=8),      # categories
+    st.integers(min_value=1, max_value=4),      # clusters
+    st.integers(min_value=0, max_value=10_000), # seed
+)
+
+
+class TestReplicationProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(tiny_worlds, st.integers(min_value=1, max_value=3))
+    def test_every_document_gets_min_replicas(self, world, n_reps):
+        n_docs, n_nodes, n_categories, n_clusters, seed = world
+        instance = build_system(
+            SystemConfig(
+                n_docs=n_docs,
+                n_nodes=n_nodes,
+                n_categories=n_categories,
+                n_clusters=n_clusters,
+                seed=seed,
+            )
+        )
+        assignment = maxfair(instance)
+        plan = plan_replication(instance, assignment, n_reps=n_reps, hot_mass=0.35)
+        members = cluster_members(instance, assignment.category_to_cluster)
+        holders: dict[int, int] = {}
+        for docs in plan.node_docs.values():
+            for doc_id in docs:
+                holders[doc_id] = holders.get(doc_id, 0) + 1
+        for doc_id, doc in instance.documents.items():
+            cluster = assignment.cluster_of(doc.categories[0])
+            expected = min(n_reps, len(members[cluster]))
+            assert holders.get(doc_id, 0) >= expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(tiny_worlds)
+    def test_byte_accounting_always_consistent(self, world):
+        n_docs, n_nodes, n_categories, n_clusters, seed = world
+        instance = build_system(
+            SystemConfig(
+                n_docs=n_docs,
+                n_nodes=n_nodes,
+                n_categories=n_categories,
+                n_clusters=n_clusters,
+                seed=seed,
+            )
+        )
+        assignment = maxfair(instance)
+        plan = plan_replication(instance, assignment, n_reps=2, hot_mass=0.2)
+        sizes = instance.doc_sizes
+        for node_id, docs in plan.node_docs.items():
+            assert plan.node_bytes[node_id] == sum(sizes[d] for d in docs)
+
+
+class TestChordProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=100),   # nodes
+        st.integers(min_value=0, max_value=5000),  # doc id
+        st.integers(min_value=0, max_value=99),    # start index
+    )
+    def test_lookup_always_reaches_the_stored_holder(self, n_nodes, doc_id, start):
+        network = ChordNetwork(range(n_nodes), bits=20)
+        stored_at = network.store(doc_id)
+        holder, hops = network.lookup(start % n_nodes, doc_id)
+        assert holder == stored_at
+        assert doc_id in network.nodes[holder].keys
+        assert 0 <= hops <= 4 * network.bits

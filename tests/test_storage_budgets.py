@@ -1,0 +1,70 @@
+"""Tests for storage-budget-constrained replica placement (§4.3.3 premise)."""
+
+import numpy as np
+import pytest
+
+from repro.core.maxfair import maxfair
+from repro.core.popularity import build_category_stats
+from repro.core.replication import plan_replication
+from repro.model.system import SystemConfig, build_system
+
+MB = 1024 * 1024
+
+
+def _budgeted_instance(budget_bytes, seed=71):
+    config = SystemConfig(
+        n_docs=400,
+        n_nodes=60,
+        n_categories=8,
+        n_clusters=3,
+        doc_size_bytes=MB,
+        seed=seed,
+    )
+    instance = build_system(config)
+    for node in instance.nodes.values():
+        node.storage_bytes = budget_bytes
+    return instance
+
+
+class TestStorageBudgets:
+    def test_budgets_respected(self):
+        budget = 40 * MB
+        instance = _budgeted_instance(budget)
+        assignment = maxfair(instance)
+        plan = plan_replication(instance, assignment, n_reps=2, hot_mass=0.35)
+        for node_id, used in plan.node_bytes.items():
+            assert used <= budget, node_id
+
+    def test_unlimited_budget_unchanged(self):
+        instance = _budgeted_instance(None)
+        assignment = maxfair(instance)
+        plan = plan_replication(instance, assignment, n_reps=2, hot_mass=0.35)
+        assert plan.mean_node_bytes() > 0
+
+    def test_tight_budget_reduces_replication(self):
+        roomy = _budgeted_instance(None)
+        tight = _budgeted_instance(15 * MB)
+        assignment_roomy = maxfair(roomy)
+        assignment_tight = maxfair(tight)
+        plan_roomy = plan_replication(roomy, assignment_roomy, n_reps=3, hot_mass=0.35)
+        plan_tight = plan_replication(tight, assignment_tight, n_reps=3, hot_mass=0.35)
+        assert sum(plan_tight.node_bytes.values()) < sum(plan_roomy.node_bytes.values())
+
+    def test_base_replicas_survive_tight_budgets(self):
+        """Even with tight budgets, most documents keep at least one
+        placed copy (budget-skipping falls through to nodes with room)."""
+        instance = _budgeted_instance(20 * MB)
+        assignment = maxfair(instance)
+        plan = plan_replication(instance, assignment, n_reps=2, hot_mass=0.0)
+        placed = set()
+        for docs in plan.node_docs.values():
+            placed.update(docs)
+        coverage = len(placed) / len(instance.documents)
+        assert coverage > 0.95
+
+    def test_impossible_budget_places_nothing_quietly(self):
+        # Budgets smaller than one document: nothing fits, nothing breaks.
+        instance = _budgeted_instance(MB // 2)
+        assignment = maxfair(instance)
+        plan = plan_replication(instance, assignment, n_reps=1, hot_mass=0.0)
+        assert sum(plan.node_bytes.values()) == 0

@@ -1,0 +1,53 @@
+"""Tests for the network traffic report."""
+
+import pytest
+
+from repro.metrics.traffic import format_traffic, traffic_report
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+
+def _stats_with_traffic():
+    sim = Simulator()
+    network = Network(sim)
+    network.register(1, lambda msg: None)
+    network.send(0, 1, "query", None, size_bytes=100)
+    network.send(0, 1, "query", None, size_bytes=100)
+    network.send(0, 1, "transfer_data", None, size_bytes=10_000)
+    network.send(0, 99, "query", None, size_bytes=100)  # dropped
+    sim.run()
+    return network.stats
+
+
+class TestTrafficReport:
+    def test_counters(self):
+        report = traffic_report(_stats_with_traffic())
+        assert report.messages_sent == 4
+        assert report.messages_delivered == 3
+        assert report.messages_dropped == 1
+        assert report.bytes_total == 10_300
+
+    def test_data_control_split(self):
+        report = traffic_report(_stats_with_traffic())
+        assert report.bytes_data == 10_000
+        assert report.bytes_control == 300
+        assert report.data_fraction == pytest.approx(10_000 / 10_300)
+
+    def test_by_kind_sorted(self):
+        report = traffic_report(_stats_with_traffic())
+        kinds = [kind for kind, _m, _b in report.by_kind]
+        assert kinds == sorted(kinds)
+        as_dict = {kind: (m, b) for kind, m, b in report.by_kind}
+        assert as_dict["query"] == (3, 300)
+        assert as_dict["transfer_data"] == (1, 10_000)
+
+    def test_delivery_rate_empty(self):
+        sim = Simulator()
+        report = traffic_report(Network(sim).stats)
+        assert report.delivery_rate == 1.0
+        assert report.data_fraction == 0.0
+
+    def test_format(self):
+        text = format_traffic(traffic_report(_stats_with_traffic()))
+        assert "transfer_data" in text
+        assert "TOTAL" in text
