@@ -18,6 +18,9 @@ P2P architecture end to end:
 * :mod:`repro.baselines` — Chord, Gnutella-style flooding, and a hybrid
   central-index system as comparators;
 * :mod:`repro.metrics` — load and response-time accounting and reporting;
+* :mod:`repro.obs` — simulation-time-aware observability: counters,
+  gauges, histograms, wall-clock timers, typed tracing, and JSONL/text
+  snapshot exporters the instrumented core records into;
 * :mod:`repro.experiments` — one module per paper figure/table, runnable
   via ``repro-experiments`` or ``python -m repro.experiments``.
 

@@ -15,6 +15,7 @@ import argparse
 import sys
 import time
 
+from repro import obs
 from repro.experiments import EXPERIMENTS
 
 __all__ = ["main"]
@@ -50,6 +51,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--seed", type=int, default=7, help="root random seed"
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "dump a repro.obs metrics snapshot (JSONL) here after the "
+            "experiments finish"
+        ),
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "enable the repro.obs trace log; traced events are included "
+            "in the --metrics-out snapshot"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -69,19 +87,47 @@ def main(argv: list[str] | None = None) -> int:
         print(f"known ids: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
-    for exp_id in wanted:
-        module = EXPERIMENTS[exp_id]
-        started = time.perf_counter()
-        kwargs = {}
-        if args.scale is not None:
-            kwargs["scale"] = args.scale
-        if "seed" in module.run.__code__.co_varnames:
-            kwargs["seed"] = args.seed
-        result = module.run(**kwargs)
-        elapsed = time.perf_counter() - started
-        print(module.format_result(result))
-        print(f"[{exp_id} completed in {elapsed:.1f}s]")
-        print()
+    if args.metrics_out is not None:
+        # Fail before running anything: a typo'd output path should not
+        # cost the user the whole experiment run.
+        try:
+            with open(args.metrics_out, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(
+                f"cannot write --metrics-out path {args.metrics_out!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+
+    obs.reset()  # a fresh observation window per CLI invocation
+    if args.trace:
+        obs.TRACE.enable()
+    try:
+        for exp_id in wanted:
+            module = EXPERIMENTS[exp_id]
+            started = time.perf_counter()
+            kwargs = {}
+            if args.scale is not None:
+                kwargs["scale"] = args.scale
+            if "seed" in module.run.__code__.co_varnames:
+                kwargs["seed"] = args.seed
+            with obs.Timer(obs.histogram(f"experiment.{exp_id.lower()}_s")):
+                result = module.run(**kwargs)
+            elapsed = time.perf_counter() - started
+            print(module.format_result(result))
+            print(f"[{exp_id} completed in {elapsed:.1f}s]")
+            print()
+        if args.metrics_out is not None:
+            lines = obs.dump_jsonl(
+                args.metrics_out,
+                obs.REGISTRY,
+                obs.TRACE if args.trace else None,
+            )
+            print(f"[metrics snapshot: {lines} records -> {args.metrics_out}]")
+    finally:
+        if args.trace:
+            obs.TRACE.disable()
     return 0
 
 

@@ -45,7 +45,12 @@ class ResponseStats:
 
     n_queries: int
     n_succeeded: int
+    #: protocol failures only (``QueryOutcome.failed``); a query that
+    #: completed with zero results is *unanswered*, not failed.
     n_failed: int
+    #: completed without error but returned no results (e.g. the catalog
+    #: holds no matching document).
+    n_unanswered: int
     mean_hops: float
     p50_hops: float
     p99_hops: float
@@ -64,6 +69,7 @@ class ResponseStats:
             ("queries", str(self.n_queries)),
             ("succeeded", str(self.n_succeeded)),
             ("failed", str(self.n_failed)),
+            ("unanswered", str(self.n_unanswered)),
             ("success rate", f"{self.success_rate:.4f}"),
             ("mean hops (first result)", f"{self.mean_hops:.2f}"),
             ("p50 hops", f"{self.p50_hops:.1f}"),
@@ -88,7 +94,8 @@ def summarize_responses(outcomes) -> ResponseStats:
     return ResponseStats(
         n_queries=len(outcomes),
         n_succeeded=len(succeeded),
-        n_failed=sum(1 for o in outcomes if not o.succeeded),
+        n_failed=sum(1 for o in outcomes if o.failed),
+        n_unanswered=sum(1 for o in outcomes if not o.failed and o.results == 0),
         mean_hops=float(hops.mean()) if len(hops) else 0.0,
         p50_hops=float(np.percentile(hops, 50)) if len(hops) else 0.0,
         p99_hops=float(np.percentile(hops, 99)) if len(hops) else 0.0,

@@ -1,0 +1,87 @@
+"""Snapshot exporters: JSONL for tooling, plain text for eyeballs.
+
+An experiment run dumps one snapshot next to its results
+(``repro-experiments E3 --metrics-out run.jsonl``).  The JSONL format is
+one self-describing JSON object per line:
+
+* a ``meta`` header line (schema version, metric/trace counts);
+* one line per metric (``counter``/``gauge``/``histogram``/
+  ``sim_histogram`` with count/mean/min/max/p50/p99);
+* optionally one line per trace event (``type: "trace"``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TextIO
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceLog
+
+__all__ = ["snapshot", "write_jsonl", "dump_jsonl", "format_text"]
+
+SCHEMA_VERSION = 1
+
+
+def snapshot(
+    registry: MetricsRegistry, trace: TraceLog | None = None
+) -> list[dict]:
+    """All JSON-ready records of a registry (and optionally a trace)."""
+    records: list[dict] = [
+        {
+            "type": "meta",
+            "schema": SCHEMA_VERSION,
+            "n_metrics": len(registry),
+            "n_trace_events": len(trace) if trace is not None else 0,
+            "trace_dropped": trace.dropped_events if trace is not None else 0,
+        }
+    ]
+    records.extend(registry.snapshot())
+    if trace is not None:
+        records.extend(event.snapshot() for event in trace)
+    return records
+
+
+def write_jsonl(
+    stream: TextIO, registry: MetricsRegistry, trace: TraceLog | None = None
+) -> int:
+    """Write a snapshot to an open stream; returns the line count."""
+    records = snapshot(registry, trace)
+    for record in records:
+        stream.write(json.dumps(record, sort_keys=True))
+        stream.write("\n")
+    return len(records)
+
+
+def dump_jsonl(
+    path: str, registry: MetricsRegistry, trace: TraceLog | None = None
+) -> int:
+    """Write a snapshot to ``path``; returns the line count."""
+    with open(path, "w", encoding="utf-8") as stream:
+        return write_jsonl(stream, registry, trace)
+
+
+def format_text(registry: MetricsRegistry, trace: TraceLog | None = None) -> str:
+    """A human-readable metrics table (name, kind, value/summary)."""
+    lines = ["metric                                    value"]
+    lines.append("-" * len(lines[0]))
+    for metric in registry:
+        record = metric.snapshot()
+        if record["type"] in ("counter", "gauge"):
+            value = record["value"]
+            rendered = (
+                f"{value:g}" if isinstance(value, float) else str(value)
+            )
+        else:
+            rendered = (
+                f"n={record['count']} mean={record['mean']:.6g} "
+                f"p50={record['p50']:.6g} p99={record['p99']:.6g} "
+                f"max={record['max']:.6g}"
+            )
+        lines.append(f"{record['name']:<40s}  {rendered}")
+    if trace is not None and len(trace):
+        lines.append("")
+        lines.append(f"trace: {len(trace)} events")
+        for kind, count in sorted(trace.counts_by_kind().items()):
+            lines.append(f"  {kind:<38s}  {count}")
+    return "\n".join(lines)

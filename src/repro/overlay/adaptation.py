@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.core.fairness import jain_fairness
 from repro.core.maxfair import Assignment
 from repro.core.popularity import CategoryStats
@@ -248,6 +249,15 @@ class AdaptationCoordinator:
             max_moves=self.config.max_moves,
         )
         for move in result.moves:
+            if obs.TRACE.enabled:
+                obs.TRACE.emit(
+                    "rebalance_move",
+                    t=system.sim.now,
+                    round=round_id,
+                    category=move.category_id,
+                    source=move.source_cluster,
+                    target=move.target_cluster,
+                )
             source_members = sorted(
                 peer.node_id for peer in system.peers_in_cluster(move.source_cluster)
             )
@@ -319,14 +329,31 @@ class AdaptationCoordinator:
     # ------------------------------------------------------------------
     # the whole round
     # ------------------------------------------------------------------
+    def _enter_phase(self, round_id: int, phase: str) -> obs.Timer:
+        """Trace the phase transition; time the phase's wall-clock cost."""
+        if obs.TRACE.enabled:
+            obs.TRACE.emit(
+                "adapt_phase",
+                t=self.system.sim.now,
+                round=round_id,
+                phase=phase,
+            )
+        return obs.Timer(obs.histogram(f"adapt.phase.{phase}_s"))
+
     def run_round(self, round_id: int = 0) -> AdaptationOutcome:
         """Run Phases 0-4; rebalancing only happens below the low threshold."""
         system = self.system
         bytes_before = system.network.stats.bytes_sent
-        leaders = self.elect_leaders()
-        self.monitor(leaders, round_id)
-        reports = self.exchange_reports(leaders, round_id)
-        fairness = self.evaluate_fairness(reports)
+        obs.counter("adapt.rounds").inc()
+        with self._enter_phase(round_id, "elect"):
+            leaders = self.elect_leaders()
+        with self._enter_phase(round_id, "monitor"):
+            self.monitor(leaders, round_id)
+        with self._enter_phase(round_id, "exchange"):
+            reports = self.exchange_reports(leaders, round_id)
+        with self._enter_phase(round_id, "evaluate"):
+            fairness = self.evaluate_fairness(reports)
+        obs.gauge("adapt.observed_fairness").set(fairness)
         outcome = AdaptationOutcome(
             round_id=round_id,
             leaders=leaders,
@@ -335,9 +362,13 @@ class AdaptationCoordinator:
             bytes_before=bytes_before,
         )
         if fairness < self.config.low_threshold and leaders:
-            result = self.rebalance(leaders, reports, round_id)
+            with self._enter_phase(round_id, "rebalance"):
+                result = self.rebalance(leaders, reports, round_id)
             outcome.rebalanced = True
             outcome.reassign_result = result
             outcome.moved_categories = [move.category_id for move in result.moves]
+            obs.counter("adapt.rebalance_rounds").inc()
+            obs.counter("adapt.category_moves").inc(len(result.moves))
         outcome.bytes_after = system.network.stats.bytes_sent
+        obs.counter("adapt.bytes_used").inc(outcome.bytes_used)
         return outcome

@@ -33,6 +33,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro import obs
 from repro.overlay import messages as m
 from repro.overlay.cluster import elect_leader
 from repro.overlay.messages import DocInfo
@@ -40,6 +41,15 @@ from repro.overlay.metadata import DCRT, DCRTEntry, NRT, DocumentTable
 from repro.sim.network import Message, Network
 
 __all__ = ["DocInfo", "PeerConfig", "PeerHooks", "Peer"]
+
+# Shared across all peers (process-wide totals); cached at import time so
+# the hot paths pay one attribute call, not a registry lookup.
+_TRACE = obs.TRACE
+_C_QUERIES_ISSUED = obs.counter("overlay.queries_issued")
+_C_QUERIES_SERVED = obs.counter("overlay.queries_served")
+_C_QUERIES_FORWARDED = obs.counter("overlay.queries_forwarded")
+_C_QUERIES_FAILED = obs.counter("overlay.queries_failed")
+_C_GOSSIP_SENT = obs.counter("overlay.gossip_messages")
 
 
 @dataclass(frozen=True, slots=True)
@@ -303,8 +313,26 @@ class Peer:
         if m_results < 1:
             raise ValueError(f"m_results must be >= 1, got {m_results}")
         cluster_id = self.dcrt.cluster_of(category_id)
+        _C_QUERIES_ISSUED.value += 1
+        if _TRACE.enabled:
+            _TRACE.emit(
+                "query_issue",
+                t=self.network.sim.now,
+                node=self.node_id,
+                query=query_id,
+                category=category_id,
+            )
         target = self.nrt.random_node(cluster_id, self.rng)
         if target is None:
+            _C_QUERIES_FAILED.value += 1
+            if _TRACE.enabled:
+                _TRACE.emit(
+                    "query_fail",
+                    t=self.network.sim.now,
+                    node=self.node_id,
+                    query=query_id,
+                    reason="no-known-member",
+                )
             self.hooks.on_query_failed(self, query_id, "no-known-member")
             return
         message = m.QueryMessage(
@@ -335,6 +363,7 @@ class Peer:
             # node can piggyback the metadata correction (step 4).
             target = self.nrt.random_node(serving_cluster, self.rng)
             if target is not None:
+                _C_QUERIES_FORWARDED.value += 1
                 self._send(
                     target,
                     "query",
@@ -418,6 +447,16 @@ class Peer:
         self.hit_counters[query.category_id] = (
             self.hit_counters.get(query.category_id, 0) + 1
         )
+        _C_QUERIES_SERVED.value += 1
+        if _TRACE.enabled:
+            _TRACE.emit(
+                "query_serve",
+                t=self.network.sim.now,
+                node=self.node_id,
+                query=query.query_id,
+                hops=query.hops,
+                docs=len(doc_ids),
+            )
         updates: tuple[tuple[int, DCRTEntry], ...] = ()
         if query.target_cluster != entry.cluster_id:
             # The requester routed on a stale mapping; piggyback the
@@ -453,6 +492,8 @@ class Peer:
         remaining = query.remaining - len(served)
         if remaining > 0:
             neighbors = self.cluster_neighbors.get(entry.cluster_id, ())
+            if neighbors:
+                _C_QUERIES_FORWARDED.value += len(neighbors)
             for neighbor in neighbors:
                 self._send(
                     neighbor,
@@ -1087,6 +1128,14 @@ class Peer:
         if not partners:
             return
         partner = partners[int(self.rng.integers(0, len(partners)))]
+        _C_GOSSIP_SENT.value += 1
+        if _TRACE.enabled:
+            _TRACE.emit(
+                "gossip",
+                t=self.network.sim.now,
+                node=self.node_id,
+                partner=partner,
+            )
         self._send(
             partner,
             "gossip",

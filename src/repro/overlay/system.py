@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro import obs
 from repro.core.maxfair import Assignment
 from repro.core.replication import ReplicationPlan
 from repro.metrics.response import QueryOutcome
@@ -90,6 +91,17 @@ class _SystemHooks(PeerHooks):
         if args["first_response_at"] is None:
             args["first_response_at"] = self.system.sim.now
             args["first_response_hops"] = response.hops
+            self.system._h_latency.observe(
+                self.system.sim.now - args["issued_at"]
+            )
+            if obs.TRACE.enabled:
+                obs.TRACE.emit(
+                    "query_resolve",
+                    t=self.system.sim.now,
+                    query=response.query_id,
+                    hops=response.hops,
+                    results=len(response.doc_ids),
+                )
         record.responders.add(response.responder_id)
         args["results"] += len(response.doc_ids)
 
@@ -174,6 +186,10 @@ class P2PSystem:
 
         self.rngs = RngRegistry(root_seed=self.config.seed)
         self.sim = Simulator()
+        #: in-sim first-response latencies, stamped with simulation time.
+        self._h_latency = obs.sim_histogram(
+            "overlay.first_response_latency", clock=lambda: self.sim.now
+        )
         self.network = Network(
             self.sim,
             base_latency=self.config.base_latency,

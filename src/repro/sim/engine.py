@@ -14,7 +14,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable
+
+from repro import obs
 
 __all__ = ["Event", "Simulator", "SimulationError"]
 
@@ -35,10 +38,17 @@ class Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: the owning simulator, so cancellation keeps its live-event count
+    #: exact; ``None`` for events constructed outside a simulator.
+    owner: "Simulator | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.owner is not None:
+            self.owner._note_cancel()
 
 
 class Simulator:
@@ -59,20 +69,34 @@ class Simulator:
         self._seq = 0
         self._now = 0.0
         self._running = False
+        self._live = 0
         self.events_processed = 0
+        #: optional per-callback timing hook: called as
+        #: ``hook(event, elapsed_seconds)`` after each dispatched callback.
+        #: ``None`` (the default) skips the wall-clock reads entirely.
+        self.event_hook: Callable[[Event, float], None] | None = None
+        self._c_processed = obs.counter("sim.events_processed")
+        self._g_queue_depth = obs.gauge("sim.queue_depth")
 
     @property
     def now(self) -> float:
         """Current simulation time."""
         return self._now
 
+    def _note_cancel(self) -> None:
+        """An owned event was cancelled; keep :meth:`pending` exact."""
+        self._live -= 1
+
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to fire ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        event = Event(time=self._now + delay, seq=self._seq, callback=callback)
+        event = Event(
+            time=self._now + delay, seq=self._seq, callback=callback, owner=self
+        )
         self._seq += 1
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
@@ -132,38 +156,62 @@ class Simulator:
             is advanced to ``until``).
         max_events:
             Safety valve against runaway protocols; raises
-            :class:`SimulationError` when exceeded.
+            :class:`SimulationError` when exceeded.  The budget is checked
+            *before* an event is popped, so the event that would exceed it
+            stays queued: a caller may catch the error and call ``run()``
+            again to resume with no callback lost.
         """
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
+        trace_log = obs.TRACE
+        heappop = heapq.heappop
+        queue = self._queue
         try:
             processed_this_run = 0
-            while self._queue:
-                event = self._queue[0]
+            while queue:
+                event = queue[0]
                 if until is not None and event.time > until:
                     self._now = until
                     return
-                heapq.heappop(self._queue)
                 if event.cancelled:
+                    heappop(queue)
                     continue
                 if max_events is not None and processed_this_run >= max_events:
                     raise SimulationError(
                         f"event budget of {max_events} exhausted at t={self._now}"
                     )
+                heappop(queue)
+                self._live -= 1
+                event.owner = None  # cancel() after dispatch must not count
                 self._now = event.time
-                event.callback()
+                if trace_log.enabled:
+                    trace_log.emit("event_dispatch", t=event.time, seq=event.seq)
+                # self.event_hook is re-read per event: a callback may
+                # install or remove the hook mid-run.
+                event_hook = self.event_hook
+                if event_hook is not None:
+                    started = perf_counter()
+                    event.callback()
+                    event_hook(event, perf_counter() - started)
+                else:
+                    event.callback()
                 self.events_processed += 1
                 processed_this_run += 1
             if until is not None and until > self._now:
                 self._now = until
         finally:
+            self._c_processed.value += processed_this_run
+            self._g_queue_depth.value = self._live
             self._running = False
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-cancelled events in the queue (O(1))."""
+        return self._live
 
     def clear(self) -> None:
         """Drop all pending events (used between experiment phases)."""
+        for event in self._queue:
+            event.owner = None  # a later cancel() must not double-count
         self._queue.clear()
+        self._live = 0

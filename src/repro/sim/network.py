@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro import obs
 from repro.sim.engine import Simulator
 
 __all__ = ["Message", "Network", "NetworkStats"]
@@ -47,7 +48,18 @@ class Message:
 
 @dataclass(slots=True)
 class NetworkStats:
-    """Cumulative traffic counters."""
+    """Cumulative traffic counters.
+
+    ``drops_by_reason`` breaks ``messages_dropped`` down by *why* the
+    message was lost:
+
+    * ``dst-dead`` — destination unregistered or crashed at send time;
+    * ``src-crashed`` — the sender itself is crashed;
+    * ``partitioned`` — sender and destination are in different partitions;
+    * ``random-loss`` — lost to the configured drop probability;
+    * ``dst-dead-at-delivery`` — the destination crashed or left while the
+      message was in flight.
+    """
 
     messages_sent: int = 0
     messages_delivered: int = 0
@@ -55,6 +67,7 @@ class NetworkStats:
     bytes_sent: int = 0
     by_kind: dict[str, int] = field(default_factory=dict)
     bytes_by_kind: dict[str, int] = field(default_factory=dict)
+    drops_by_reason: dict[str, int] = field(default_factory=dict)
 
     def record_sent(self, message: Message) -> None:
         self.messages_sent += 1
@@ -63,6 +76,10 @@ class NetworkStats:
         self.bytes_by_kind[message.kind] = (
             self.bytes_by_kind.get(message.kind, 0) + message.size_bytes
         )
+
+    def record_dropped(self, reason: str) -> None:
+        self.messages_dropped += 1
+        self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
 
 
 class Network:
@@ -108,6 +125,11 @@ class Network:
         self.drop_probability = drop_probability
         self.rng = rng
         self.stats = NetworkStats()
+        self._c_sent = obs.counter("net.messages_sent")
+        self._c_delivered = obs.counter("net.messages_delivered")
+        self._c_dropped = obs.counter("net.messages_dropped")
+        self._c_bytes = obs.counter("net.bytes_sent")
+        self._trace = obs.TRACE
         self._handlers: dict[int, Callable[[Message], None]] = {}
         self._crashed: set[int] = set()
         #: node id -> partition label; nodes in different partitions cannot
@@ -184,18 +206,35 @@ class Network:
             sent_at=self.sim.now,
         )
         self.stats.record_sent(message)
-
-        dropped = (
-            not self.is_alive(dst)
-            or src in self._crashed
-            or not self._same_partition(src, dst)
-            or (
-                self.drop_probability > 0.0
-                and self.rng.random() < self.drop_probability
+        self._c_sent.value += 1
+        self._c_bytes.value += size_bytes
+        if self._trace.enabled:
+            self._trace.emit(
+                "msg_send",
+                t=self.sim.now,
+                src=src,
+                dst=dst,
+                msg=kind,
+                size=size_bytes,
             )
-        )
-        if dropped:
-            self.stats.messages_dropped += 1
+
+        # Checked in a fixed order so the rng is consulted only for
+        # messages that would otherwise go through (deterministic
+        # fault-free runs) and each drop has exactly one reason.
+        reason = None
+        if not self.is_alive(dst):
+            reason = "dst-dead"
+        elif src in self._crashed:
+            reason = "src-crashed"
+        elif not self._same_partition(src, dst):
+            reason = "partitioned"
+        elif (
+            self.drop_probability > 0.0
+            and self.rng.random() < self.drop_probability
+        ):
+            reason = "random-loss"
+        if reason is not None:
+            self._drop(message, reason)
             return message
 
         def deliver() -> None:
@@ -203,13 +242,31 @@ class Network:
             # crashed or left while the message was in flight.
             handler = self._handlers.get(dst)
             if handler is None or dst in self._crashed:
-                self.stats.messages_dropped += 1
+                self._drop(message, "dst-dead-at-delivery")
                 return
             self.stats.messages_delivered += 1
+            self._c_delivered.value += 1
+            if self._trace.enabled:
+                self._trace.emit(
+                    "msg_deliver", t=self.sim.now, src=src, dst=dst, msg=kind
+                )
             handler(message)
 
         self.sim.schedule(self.latency_for(size_bytes), deliver)
         return message
+
+    def _drop(self, message: Message, reason: str) -> None:
+        self.stats.record_dropped(reason)
+        self._c_dropped.value += 1
+        if self._trace.enabled:
+            self._trace.emit(
+                "msg_drop",
+                t=self.sim.now,
+                src=message.src,
+                dst=message.dst,
+                msg=message.kind,
+                reason=reason,
+            )
 
     def broadcast(
         self,

@@ -102,6 +102,40 @@ class TestRunBounds:
         with pytest.raises(SimulationError):
             sim.run(max_events=100)
 
+    def test_max_events_preserves_budget_tripping_event(self):
+        # Regression: the event that trips the budget must stay queued so
+        # the caller can catch the error and resume without losing it.
+        sim = Simulator()
+        log = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: log.append(n))
+        with pytest.raises(SimulationError):
+            sim.run(max_events=1)
+        assert log == ["a"]
+        assert sim.pending() == 2  # 'b' and 'c' survive the exhaustion
+        sim.run()
+        assert log == ["a", "b", "c"]  # each fires exactly once, in order
+
+    def test_max_events_resume_in_steps(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(float(i), lambda i=i: log.append(i))
+        for _ in range(2):
+            with pytest.raises(SimulationError):
+                sim.run(max_events=2)
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_cancelled_events_do_not_consume_budget(self):
+        sim = Simulator()
+        log = []
+        for i in range(3):
+            sim.schedule(1.0, lambda i=i: log.append(i)).cancel()
+        sim.schedule(2.0, lambda: log.append("live"))
+        sim.run(max_events=1)
+        assert log == ["live"]
+
     def test_reentrant_run_rejected(self):
         sim = Simulator()
         errors = []
@@ -125,6 +159,89 @@ class TestRunBounds:
         assert sim.pending() == 1
         sim.clear()
         assert sim.pending() == 0
+
+    def test_pending_exact_under_double_cancel(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()  # idempotent: must not decrement twice
+        assert sim.pending() == 1
+
+    def test_cancel_after_fire_does_not_corrupt_pending(self):
+        sim = Simulator()
+        fired = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        fired.cancel()  # already dispatched; must be a no-op for pending
+        assert sim.pending() == 1
+
+    def test_cancel_after_clear_does_not_go_negative(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.clear()
+        event.cancel()
+        assert sim.pending() == 0
+
+    def test_pending_tracks_drain(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run(until=2.5)
+        assert sim.pending() == 2
+        sim.run()
+        assert sim.pending() == 0
+
+
+class TestInstrumentation:
+    def test_event_hook_times_callbacks(self):
+        sim = Simulator()
+        seen = []
+        sim.event_hook = lambda event, elapsed: seen.append((event.seq, elapsed))
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert [seq for seq, _ in seen] == [0, 1]
+        assert all(elapsed >= 0.0 for _, elapsed in seen)
+
+    def test_hook_installed_mid_run_takes_effect(self):
+        sim = Simulator()
+        seen = []
+
+        def install():
+            sim.event_hook = lambda event, elapsed: seen.append(event.seq)
+
+        sim.schedule(1.0, install)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert seen == [1]  # only the event after installation is timed
+
+    def test_events_processed_counter_in_registry(self):
+        from repro import obs
+
+        counter = obs.counter("sim.events_processed")
+        before = counter.value
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert counter.value == before + 3
+
+    def test_event_dispatch_traced_when_enabled(self):
+        from repro import obs
+
+        log = obs.TRACE
+        log.clear()
+        log.enable()
+        try:
+            sim = Simulator()
+            sim.schedule(1.0, lambda: None)
+            sim.run()
+        finally:
+            log.disable()
+        kinds = [event.kind for event in log.events()]
+        assert "event_dispatch" in kinds
+        log.clear()
 
 
 class TestPeriodic:

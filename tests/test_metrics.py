@@ -61,8 +61,32 @@ class TestResponseStats:
         )
         assert stats.n_queries == 3
         assert stats.n_succeeded == 2
-        assert stats.n_failed == 1
+        # Zero results without a protocol failure is *unanswered*, not failed.
+        assert stats.n_failed == 0
+        assert stats.n_unanswered == 1
         assert stats.success_rate == pytest.approx(2 / 3)
+
+    def test_failed_only_counts_protocol_failures(self):
+        stats = summarize_responses(
+            [
+                self._outcome(1),                          # succeeded
+                self._outcome(2, results=0, failed=True),  # protocol failure
+                self._outcome(3, results=0),               # empty catalog
+            ]
+        )
+        assert stats.n_failed == 1
+        assert stats.n_unanswered == 1
+        assert stats.n_succeeded == 1
+        assert (
+            stats.n_succeeded + stats.n_failed + stats.n_unanswered
+            == stats.n_queries
+        )
+
+    def test_unanswered_rendered_in_rows(self):
+        stats = summarize_responses([self._outcome(1, results=0)])
+        rows = dict(stats.rows())
+        assert rows["unanswered"] == "1"
+        assert rows["failed"] == "0"
 
     def test_hop_percentiles(self):
         outcomes = [self._outcome(i, hops=h) for i, h in enumerate([1, 1, 1, 5])]

@@ -174,3 +174,83 @@ class TestAccounting:
             Network(sim, bandwidth=0)
         with pytest.raises(ValueError):
             Network(sim, drop_probability=1.0)
+
+
+class TestDropReasons:
+    def test_dst_dead(self):
+        sim, network = _make()
+        network.send(0, 99, "ping", None)
+        assert network.stats.drops_by_reason == {"dst-dead": 1}
+
+    def test_src_crashed(self):
+        sim, network = _make()
+        network.register(0, lambda msg: None)
+        network.register(1, lambda msg: None)
+        network.crash(0)
+        network.send(0, 1, "ping", None)
+        assert network.stats.drops_by_reason == {"src-crashed": 1}
+
+    def test_partitioned(self):
+        sim, network = _make()
+        network.register(1, lambda msg: None)
+        network.register(2, lambda msg: None)
+        network.set_partition([1], 1)
+        network.set_partition([2], 2)
+        network.send(1, 2, "x", None)
+        assert network.stats.drops_by_reason == {"partitioned": 1}
+
+    def test_random_loss(self):
+        rng = np.random.default_rng(0)
+        sim, network = _make(drop=0.5, rng=rng)
+        network.register(1, lambda msg: None)
+        for _ in range(50):
+            network.send(0, 1, "x", None)
+        sim.run()
+        reasons = network.stats.drops_by_reason
+        assert set(reasons) == {"random-loss"}
+        assert reasons["random-loss"] == network.stats.messages_dropped
+
+    def test_dead_at_delivery(self):
+        sim, network = _make(base_latency=1.0, bandwidth=None)
+        network.register(1, lambda msg: None)
+        network.send(0, 1, "ping", None)
+        sim.schedule(0.5, lambda: network.crash(1))
+        sim.run()
+        assert network.stats.drops_by_reason == {"dst-dead-at-delivery": 1}
+
+    def test_reasons_sum_to_total(self):
+        rng = np.random.default_rng(3)
+        sim, network = _make(drop=0.3, rng=rng)
+        network.register(1, lambda msg: None)
+        network.send(0, 99, "x", None)  # dst-dead
+        for _ in range(30):
+            network.send(0, 1, "x", None)  # some random-loss
+        sim.run()
+        assert (
+            sum(network.stats.drops_by_reason.values())
+            == network.stats.messages_dropped
+        )
+
+
+class TestTracing:
+    def test_send_deliver_drop_traced(self):
+        from repro import obs
+
+        obs.TRACE.clear()
+        obs.TRACE.enable()
+        try:
+            sim, network = _make()
+            network.register(1, lambda msg: None)
+            network.send(0, 1, "query", None)
+            network.send(0, 99, "query", None)
+            sim.run()
+        finally:
+            obs.TRACE.disable()
+        counts = obs.TRACE.counts_by_kind()
+        assert counts["msg_send"] == 2
+        assert counts["msg_deliver"] == 1
+        assert counts["msg_drop"] == 1
+        drop = obs.TRACE.events("msg_drop")[0]
+        assert drop.fields["reason"] == "dst-dead"
+        assert drop.fields["msg"] == "query"
+        obs.TRACE.clear()

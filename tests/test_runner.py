@@ -32,6 +32,30 @@ class TestCLI:
         assert main(["f2", "--scale", "0.05"]) == 0
         assert "Figure 2" in capsys.readouterr().out
 
+    def test_metrics_out_writes_snapshot(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.jsonl"
+        assert main(["F2", "--scale", "0.05", "--metrics-out", str(path)]) == 0
+        assert "metrics snapshot" in capsys.readouterr().out
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records[0]["type"] == "meta"
+        names = {record.get("name") for record in records}
+        assert "experiment.f2_s" in names
+
+    def test_trace_flag_disabled_after_run(self, capsys, tmp_path):
+        from repro import obs
+
+        path = tmp_path / "metrics.jsonl"
+        assert (
+            main(
+                ["F2", "--scale", "0.05", "--trace", "--metrics-out", str(path)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert not obs.TRACE.enabled  # the CLI restores the global switch
+
     def test_seed_flag(self, capsys):
         def run_once() -> str:
             assert main(["F2", "--scale", "0.05", "--seed", "11"]) == 0
