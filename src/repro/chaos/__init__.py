@@ -1,0 +1,39 @@
+"""Deterministic chaos harness: scenario fuzzing, invariants, replay.
+
+One root seed drives everything: :func:`generate_schedule` expands it into
+a randomized fault schedule (churn, loss ramps, partitions, publishes,
+query bursts, forced rebalances), :func:`run_schedule` executes the
+schedule against a freshly built overlay while an
+:class:`InvariantChecker` — registered as a simulation quiescence hook —
+asserts system-wide safety properties after every drained step, and
+:func:`shrink` reduces a failing schedule to a minimal reproducer that
+:func:`emit_pytest_case` turns into a ready-to-paste regression test.
+
+Everything is deterministic: the same seed produces the same schedule, the
+same event interleaving, and the same invariant verdicts, which is what
+makes recorded failures replayable.
+"""
+
+from repro.chaos.harness import ChaosReport, run_schedule
+from repro.chaos.invariants import InvariantChecker, Violation
+from repro.chaos.replay import emit_pytest_case, replay, shrink
+from repro.chaos.scenario import (
+    Schedule,
+    ScheduleEntry,
+    ScenarioConfig,
+    generate_schedule,
+)
+
+__all__ = [
+    "ChaosReport",
+    "InvariantChecker",
+    "Schedule",
+    "ScheduleEntry",
+    "ScenarioConfig",
+    "Violation",
+    "emit_pytest_case",
+    "generate_schedule",
+    "replay",
+    "run_schedule",
+    "shrink",
+]

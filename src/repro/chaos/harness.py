@@ -1,0 +1,282 @@
+"""Deterministic execution of a fault schedule against a live overlay.
+
+:func:`run_schedule` builds a fresh world from the schedule's seed,
+registers the :class:`~repro.chaos.invariants.InvariantChecker` as a
+simulation quiescence hook (so structural invariants are asserted after
+*every* drained step, including the intermediate drains inside join,
+leave, and adaptation protocols), applies the schedule entry by entry,
+and returns a :class:`ChaosReport`.
+
+Schedule entries resolve rank parameters against the *current* live-node
+population ("crash the k-th live node"), so the same schedule replays
+identically and shrunk schedules remain well-formed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.chaos.invariants import InvariantChecker, Violation
+from repro.chaos.scenario import Schedule, ScenarioConfig
+from repro.core.maxfair import maxfair
+from repro.core.popularity import build_category_stats
+from repro.core.replication import plan_replication
+from repro.model.system import SystemConfig, build_system
+from repro.model.workload import make_query_workload
+from repro.overlay.adaptation import broadcast_notice, plan_category_move
+from repro.overlay.peer import DocInfo
+from repro.overlay.system import P2PSystem, P2PSystemConfig
+
+__all__ = ["ChaosReport", "ChaosRunner", "run_schedule"]
+
+#: settle-round cap for the ``converge`` entry: gossip rounds to try
+#: before declaring the network unable to converge.
+MAX_SETTLE_ROUNDS = 30
+
+
+@dataclass(slots=True)
+class ChaosReport:
+    """What one schedule execution observed."""
+
+    seed: int
+    n_entries: int
+    entries_applied: int = 0
+    entries_skipped: int = 0
+    outcomes_total: int = 0
+    settle_rounds: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def violated_invariants(self) -> set[str]:
+        return {violation.invariant for violation in self.violations}
+
+    @property
+    def invariant_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.invariant] = counts.get(violation.invariant, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"seed {self.seed}: ok ({self.entries_applied} entries, "
+                f"{self.outcomes_total} queries)"
+            )
+        parts = ", ".join(
+            f"{name} x{count}" for name, count in sorted(self.invariant_counts.items())
+        )
+        return f"seed {self.seed}: FAIL ({parts})"
+
+
+class ChaosRunner:
+    """One schedule, one world, one checker."""
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        config: ScenarioConfig | None = None,
+        check_invariants: bool = True,
+    ) -> None:
+        self.schedule = schedule
+        self.config = config if config is not None else ScenarioConfig()
+        self.check_invariants = check_invariants
+        config = self.config
+
+        self.instance = build_system(
+            SystemConfig(
+                n_docs=config.n_docs,
+                n_nodes=config.n_nodes,
+                n_categories=config.n_categories,
+                n_clusters=config.n_clusters,
+                doc_size_bytes=config.doc_size_bytes,
+                seed=schedule.seed,
+            )
+        )
+        stats = build_category_stats(self.instance)
+        assignment = maxfair(self.instance, stats=stats)
+        plan = plan_replication(
+            self.instance, assignment, n_reps=config.n_reps, hot_mass=0.35
+        )
+        self.system = P2PSystem(
+            self.instance,
+            assignment,
+            plan=plan,
+            config=P2PSystemConfig(seed=schedule.seed),
+        )
+        # Random loss needs a generator; give the network its own named
+        # stream so loss draws never perturb protocol randomness.
+        self.system.network.rng = self.system.rngs.stream("chaos.loss")
+        self.checker = InvariantChecker(self.system)
+        self.report = ChaosReport(seed=schedule.seed, n_entries=len(schedule))
+        self._next_doc_id = max(self.instance.documents) + 1
+        self._next_node_id = max(self.system.all_node_ids()) + 1
+        self._unregister = None
+        if check_invariants:
+            self._unregister = self.system.sim.on_quiescence(
+                self.checker.check_structural
+            )
+
+    # ------------------------------------------------------------------
+    def run(self) -> ChaosReport:
+        obs.counter("chaos.runs").inc()
+        try:
+            for entry in self.schedule.entries:
+                self.checker.step = entry.step
+                obs.counter("chaos.entries").inc()
+                if self._apply(entry):
+                    self.report.entries_applied += 1
+                else:
+                    self.report.entries_skipped += 1
+                # Always return to quiescence between entries; a no-op
+                # when the action already drained the queue.
+                self.system.sim.run()
+        finally:
+            if self._unregister is not None:
+                self._unregister()
+        self.report.violations = list(self.checker.violations)
+        return self.report
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+    def _alive_ids(self) -> list[int]:
+        return [peer.node_id for peer in self.system.alive_peers()]
+
+    def _fresh_doc(self, category_id: int) -> DocInfo:
+        doc_id = self._next_doc_id
+        self._next_doc_id += 1
+        info = DocInfo(
+            doc_id=doc_id,
+            categories=(category_id % self.config.n_categories,),
+            size_bytes=self.config.doc_size_bytes,
+        )
+        self.checker.note_published(doc_id)
+        return info
+
+    def _apply(self, entry) -> bool:
+        handler = getattr(self, f"_do_{entry.action}", None)
+        if handler is None:
+            raise ValueError(f"unknown chaos action {entry.action!r}")
+        return handler(entry.step, **entry.params)
+
+    def _do_query_burst(self, step: int, n: int, workload_seed: int) -> bool:
+        workload = make_query_workload(self.instance, n, seed=workload_seed)
+        outcomes = self.system.run_workload(workload)
+        self.report.outcomes_total += len(outcomes)
+        if self.check_invariants:
+            self.checker.check_outcomes(outcomes)
+        return True
+
+    def _do_gossip(self, step: int, rounds: int) -> bool:
+        self.system.run_gossip_rounds(rounds)
+        return True
+
+    def _do_publish(self, step: int, rank: int, category: int, n_docs: int) -> bool:
+        alive = self._alive_ids()
+        if not alive:
+            return False
+        publisher = self.system.peer(alive[rank % len(alive)])
+        for _ in range(n_docs):
+            publisher.publish_document(self._fresh_doc(category))
+        self.system.sim.run()
+        return True
+
+    def _do_join(self, step: int, capacity: int, category: int, n_docs: int) -> bool:
+        if not self._alive_ids():
+            return False
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        docs = [self._fresh_doc(category) for _ in range(n_docs)]
+        self.system.join_node(node_id, float(capacity), doc_infos=docs)
+        return True
+
+    def _do_leave(self, step: int, rank: int) -> bool:
+        alive = self._alive_ids()
+        if len(alive) <= self.config.min_alive:
+            return False
+        self.system.leave_node(alive[rank % len(alive)])
+        return True
+
+    def _do_crash(self, step: int, rank: int) -> bool:
+        alive = self._alive_ids()
+        if len(alive) <= self.config.min_alive:
+            return False
+        self.system.crash_node(alive[rank % len(alive)])
+        return True
+
+    def _do_loss_ramp(self, step: int, target: float, steps: int) -> bool:
+        self.system.network.schedule_loss_ramp(target, duration=0.5, steps=steps)
+        self.system.sim.run()
+        return True
+
+    def _do_partition(self, step: int, fraction: float, salt: int) -> bool:
+        alive = sorted(self._alive_ids())
+        if len(alive) < 4:
+            return False
+        rotation = salt % len(alive)
+        rotated = alive[rotation:] + alive[:rotation]
+        split = max(1, int(len(rotated) * fraction))
+        self.system.network.schedule_partition(
+            0.0, [rotated[:split], rotated[split:]]
+        )
+        self.system.sim.run()
+        return True
+
+    def _do_heal(self, step: int) -> bool:
+        self.system.network.schedule_heal(0.0)
+        self.system.sim.run()
+        return True
+
+    def _do_force_move(self, step: int, category: int, target_rank: int) -> bool:
+        system = self.system
+        category_id = category % self.config.n_categories
+        source = int(system.assignment.category_to_cluster[category_id])
+        choices = [
+            cluster_id
+            for cluster_id in range(system.assignment.n_clusters)
+            if cluster_id != source and system.peers_in_cluster(cluster_id)
+        ]
+        if not choices:
+            return False
+        target = choices[target_rank % len(choices)]
+        notice = plan_category_move(system, category_id, source, target)
+        source_members = [p.node_id for p in system.peers_in_cluster(source)]
+        coordinator_pool = source_members or self._alive_ids()
+        if not coordinator_pool:
+            return False
+        broadcast_notice(system, notice, min(coordinator_pool))
+        system.sim.run()
+        return True
+
+    def _do_adapt(self, step: int) -> bool:
+        outcome = self.system.run_adaptation(round_id=step)
+        if self.check_invariants:
+            self.checker.check_adaptation(outcome)
+        return True
+
+    def _do_converge(self, step: int) -> bool:
+        rounds = 0
+        while rounds < MAX_SETTLE_ROUNDS and not self.checker.probe_convergence():
+            self.system.run_gossip_rounds(1)
+            rounds += 1
+        self.report.settle_rounds += rounds
+        if self.check_invariants:
+            self.checker.check_convergence()
+        return True
+
+
+def run_schedule(
+    schedule: Schedule,
+    config: ScenarioConfig | None = None,
+    check_invariants: bool = True,
+) -> ChaosReport:
+    """Build a world from the schedule's seed and execute it."""
+    return ChaosRunner(
+        schedule, config=config, check_invariants=check_invariants
+    ).run()

@@ -1,0 +1,395 @@
+"""System-wide safety invariants, checked after every quiescent step.
+
+The :class:`InvariantChecker` reads a live
+:class:`~repro.overlay.system.P2PSystem` through its introspection views
+and asserts properties that must hold *whenever the event queue is
+drained*, no matter what faults the scenario injected:
+
+``unique-ownership``
+    The authoritative assignment maps every category to exactly one
+    existing cluster.
+``move-counter-monotonic``
+    No peer's DCRT entry for a category ever goes backwards in move
+    counter (watermarked per ``(node, category)``), and neither does the
+    authoritative assignment's counter.
+``doc-conservation``
+    Every document ever placed or published still physically exists on
+    some peer object (crashed nodes keep their disk); rebalancing must
+    never destroy content.
+``holder-consistency``
+    The cluster metadata's holder directory and the peers' actual stores
+    agree in both directions.
+``membership-consistency``
+    Live peers' cluster memberships and the system's authoritative
+    membership sets agree.
+``query-termination``
+    Every issued query ends answered, unanswered, or failed — outcome
+    states are mutually exclusive and every outcome is classifiable.
+``gossip-convergence``
+    After a heal-and-settle window, all live peers that can reach each
+    other through gossip partners agree on every DCRT entry.
+``fairness-bound``
+    Observed Jain fairness lies in ``(0, 1]`` and the reassigner's
+    fairness trace is monotone non-decreasing (MaxFair only accepts
+    improving moves).
+
+Structural checks (the first five) run from the simulator's quiescence
+hook; the last three are event-driven, invoked by the harness when a
+workload, convergence window, or adaptation round completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro import obs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.overlay.system import P2PSystem
+
+__all__ = ["Violation", "InvariantChecker", "STRUCTURAL_INVARIANTS"]
+
+#: invariants evaluated at every quiescent step (vs. event-driven ones).
+STRUCTURAL_INVARIANTS = (
+    "unique-ownership",
+    "move-counter-monotonic",
+    "doc-conservation",
+    "holder-consistency",
+    "membership-consistency",
+)
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One observed invariant breach."""
+
+    invariant: str
+    step: int
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"[step {self.step}] {self.invariant}: {self.detail}"
+
+
+class InvariantChecker:
+    """Watches one system; accumulates :class:`Violation` records.
+
+    The checker is deliberately read-only: it observes through the
+    system's copy-returning introspection views and never mutates overlay
+    state, so registering it cannot change simulation outcomes.
+    """
+
+    def __init__(self, system: "P2PSystem") -> None:
+        self.system = system
+        self.violations: list[Violation] = []
+        #: schedule step currently executing (set by the harness).
+        self.step = -1
+        #: every document that must keep existing somewhere.
+        self._expected_docs: set[int] = set()
+        for docs in system.stored_docs_by_node().values():
+            self._expected_docs |= docs
+        #: (node_id, category_id) -> highest move counter seen there.
+        self._peer_marks: dict[tuple[int, int], int] = {}
+        #: category_id -> highest authoritative move counter seen.
+        self._assignment_marks: dict[int, int] = {}
+        self._c_checks = obs.counter("chaos.invariant_checks")
+        self._c_violations = obs.counter("chaos.violations")
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def note_published(self, doc_id: int) -> None:
+        """Register a chaos-created document for conservation tracking."""
+        self._expected_docs.add(doc_id)
+
+    def note_destroyed(self, doc_ids) -> None:
+        """Forget documents the scenario legitimately destroyed (unused by
+        the current action set, but the hook shrinkers need exists)."""
+        self._expected_docs -= set(doc_ids)
+
+    @property
+    def violated_invariants(self) -> set[str]:
+        return {violation.invariant for violation in self.violations}
+
+    def _record(self, invariant: str, detail: str) -> None:
+        self.violations.append(
+            Violation(invariant=invariant, step=self.step, detail=detail)
+        )
+        self._c_violations.inc()
+        obs.counter(f"chaos.violations.{invariant}").inc()
+
+    def _run(self, invariant: str, check) -> None:
+        self._c_checks.inc()
+        with obs.Timer(obs.histogram(f"chaos.invariant.{invariant}_s")):
+            for detail in check():
+                self._record(invariant, detail)
+
+    # ------------------------------------------------------------------
+    # structural checks (quiescence hook)
+    # ------------------------------------------------------------------
+    def check_structural(self) -> None:
+        """All always-true properties; called at every quiescent step."""
+        self._run("unique-ownership", self._check_unique_ownership)
+        self._run("move-counter-monotonic", self._check_move_counters)
+        self._run("doc-conservation", self._check_conservation)
+        self._run("holder-consistency", self._check_holders)
+        self._run("membership-consistency", self._check_membership)
+
+    def _check_unique_ownership(self):
+        assignment = self.system.assignment
+        if not assignment.is_complete():
+            yield "assignment has unassigned categories"
+            return
+        n_clusters = assignment.n_clusters
+        for category_id in range(assignment.n_categories):
+            cluster_id = int(assignment.category_to_cluster[category_id])
+            if not 0 <= cluster_id < n_clusters:
+                yield (
+                    f"category {category_id} assigned to nonexistent "
+                    f"cluster {cluster_id}"
+                )
+
+    def _check_move_counters(self):
+        assignment = self.system.assignment
+        for category_id in range(assignment.n_categories):
+            counter = int(assignment.move_counters[category_id])
+            previous = self._assignment_marks.get(category_id, 0)
+            if counter < previous:
+                yield (
+                    f"authoritative move counter of category {category_id} "
+                    f"went {previous} -> {counter}"
+                )
+            else:
+                self._assignment_marks[category_id] = counter
+        # Every peer ever created — a departed peer's DCRT is frozen, so
+        # watermarking it stays cheap and can only catch genuine rollbacks.
+        for node_id in self.system.all_node_ids():
+            peer = self.system._peers[node_id]
+            for category_id, entry in peer.dcrt_items():
+                key = (node_id, category_id)
+                previous = self._peer_marks.get(key, 0)
+                if entry.move_counter < previous:
+                    yield (
+                        f"node {node_id} category {category_id} move counter "
+                        f"went {previous} -> {entry.move_counter}"
+                    )
+                else:
+                    self._peer_marks[key] = entry.move_counter
+
+    def _check_conservation(self):
+        held: set[int] = set()
+        for docs in self.system.stored_docs_by_node().values():
+            held |= docs
+        missing = self._expected_docs - held
+        if missing:
+            sample = sorted(missing)[:10]
+            yield (
+                f"{len(missing)} documents vanished from every peer "
+                f"(sample: {sample})"
+            )
+
+    def _check_holders(self):
+        stored = self.system.stored_docs_by_node()
+        holders_view = self.system.doc_holders_view()
+        for doc_id, holders in holders_view.items():
+            for node_id in holders:
+                if doc_id not in stored.get(node_id, ()):
+                    yield (
+                        f"metadata lists node {node_id} as holder of doc "
+                        f"{doc_id} but the peer does not store it"
+                    )
+        for node_id, docs in stored.items():
+            for doc_id in docs:
+                if node_id not in holders_view.get(doc_id, ()):
+                    yield (
+                        f"node {node_id} stores doc {doc_id} but the holder "
+                        f"directory does not know"
+                    )
+
+    def _check_membership(self):
+        members_view = self.system.cluster_members_view()
+        departed = set(self.system.departed_node_ids())
+        for cluster_id, members in members_view.items():
+            for peer in self.system.peers_in_cluster(cluster_id):
+                if cluster_id not in peer.memberships:
+                    yield (
+                        f"system lists node {peer.node_id} in cluster "
+                        f"{cluster_id} but the peer does not believe it"
+                    )
+        for peer in self.system.alive_peers():
+            if peer.node_id in departed:
+                continue
+            for cluster_id in peer.memberships:
+                if peer.node_id not in members_view.get(cluster_id, ()):
+                    yield (
+                        f"node {peer.node_id} believes it is in cluster "
+                        f"{cluster_id} but the system does not list it"
+                    )
+
+    # ------------------------------------------------------------------
+    # event-driven checks
+    # ------------------------------------------------------------------
+    def check_outcomes(self, outcomes) -> None:
+        """Query termination: every issued query has exactly one fate."""
+
+        def check():
+            if self.system.sim.pending() > 0:
+                yield (
+                    f"{self.system.sim.pending()} events still queued when "
+                    f"outcomes were finalized"
+                )
+            for outcome in outcomes:
+                states = [
+                    outcome.failed,
+                    outcome.results > 0,
+                    (not outcome.failed) and outcome.results == 0,
+                ]
+                if sum(states) != 1:
+                    yield (
+                        f"query {outcome.query_id} is in {sum(states)} "
+                        f"terminal states (failed={outcome.failed}, "
+                        f"results={outcome.results})"
+                    )
+                if outcome.failed and outcome.first_response_at is not None:
+                    yield (
+                        f"query {outcome.query_id} both failed and received "
+                        f"a response"
+                    )
+
+        self._run("query-termination", check)
+
+    def check_convergence(self) -> bool:
+        """Gossip convergence: DCRT agreement per reachable component.
+
+        Returns True when every component agrees (used by the harness to
+        decide whether more settle rounds are worth running); records a
+        violation only when the harness has given up.
+        """
+        return not self._convergence_failures(record=True)
+
+    def probe_convergence(self) -> bool:
+        """Like :meth:`check_convergence` but never records violations."""
+        return not self._convergence_failures(record=False)
+
+    def _convergence_failures(self, record: bool) -> list[str]:
+        failures: list[str] = []
+
+        def check():
+            alive = {peer.node_id: peer for peer in self.system.alive_peers()}
+            for component in _gossip_components(alive):
+                disagreements = _component_disagreements(
+                    component, alive, self.system.n_categories
+                )
+                failures.extend(disagreements)
+                yield from disagreements
+
+        if record:
+            self._run("gossip-convergence", check)
+        else:
+            for _ in check():
+                pass
+        return failures
+
+    def check_adaptation(self, outcome) -> None:
+        """Fairness bounds on one adaptation round's outcome."""
+
+        def check():
+            fairness = outcome.observed_fairness
+            if not 0.0 <= fairness <= 1.0 + _EPS:
+                yield f"observed fairness {fairness} outside [0, 1]"
+            result = outcome.reassign_result
+            if result is None:
+                return
+            trace = result.fairness_trace
+            for value in trace:
+                if not 0.0 <= value <= 1.0 + _EPS:
+                    yield f"fairness trace value {value} outside [0, 1]"
+            for earlier, later in zip(trace, trace[1:]):
+                if later < earlier - _EPS:
+                    yield (
+                        f"fairness trace decreased: {earlier} -> {later} "
+                        f"(MaxFair only accepts improving moves)"
+                    )
+            if result.final_fairness < result.initial_fairness - _EPS:
+                yield (
+                    f"rebalancing lowered planned fairness "
+                    f"{result.initial_fairness} -> {result.final_fairness}"
+                )
+
+        self._run("fairness-bound", check)
+
+
+# ----------------------------------------------------------------------
+# gossip reachability
+# ----------------------------------------------------------------------
+def _gossip_partners(peer) -> set[int]:
+    """The pool :meth:`Peer.gossip_once` draws partners from."""
+    partners: set[int] = set()
+    for neighbors in peer.cluster_neighbors.values():
+        partners |= set(neighbors)
+    if not partners:
+        for cluster_id in peer.nrt.clusters():
+            partners |= {
+                node_id
+                for node_id in peer.nrt.nodes_in(cluster_id)
+                if node_id != peer.node_id
+            }
+    return partners
+
+
+def _gossip_components(alive: dict) -> list[list[int]]:
+    """Connected components of live peers under mutual gossip reach.
+
+    An undirected edge exists when either side has the other in its
+    partner pool: a push in one direction updates both ends (push-pull),
+    so information flows both ways across it.  Components matter because
+    a peer isolated by crashes *cannot* converge — flagging it would be a
+    false positive, not a bug.
+    """
+    edges: dict[int, set[int]] = {node_id: set() for node_id in alive}
+    for node_id, peer in alive.items():
+        for partner in _gossip_partners(peer):
+            if partner in alive:
+                edges[node_id].add(partner)
+                edges[partner].add(node_id)
+    components: list[list[int]] = []
+    seen: set[int] = set()
+    for node_id in sorted(alive):
+        if node_id in seen:
+            continue
+        component = []
+        frontier = [node_id]
+        seen.add(node_id)
+        while frontier:
+            current = frontier.pop()
+            component.append(current)
+            for neighbor in sorted(edges[current]):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        components.append(sorted(component))
+    return components
+
+
+def _component_disagreements(
+    component: list[int], alive: dict, n_categories: int
+) -> list[str]:
+    """DCRT entries the members of one component disagree on."""
+    failures = []
+    for category_id in range(n_categories):
+        entries = {
+            (
+                alive[node_id].dcrt.entry(category_id).cluster_id,
+                alive[node_id].dcrt.entry(category_id).move_counter,
+            )
+            for node_id in component
+        }
+        if len(entries) > 1:
+            failures.append(
+                f"component of {len(component)} live peers disagrees on "
+                f"category {category_id}: entries {sorted(entries)}"
+            )
+    return failures

@@ -1,0 +1,208 @@
+"""Seeded scenario generation: one seed -> one fault schedule.
+
+A :class:`Schedule` is a flat sequence of :class:`ScheduleEntry` actions
+drawn from a weighted action set.  Entries carry *ranks* rather than
+concrete node ids ("crash the k-th live node", "publish from the k-th
+live node") so a schedule stays meaningful — and deterministic — when the
+shrinker drops earlier entries and the live-node population at each step
+changes.
+
+The generator appends a fixed cooldown tail (heal, zero loss, gossip,
+convergence check) so the convergence and fairness invariants are
+evaluated on a network that has had a fair chance to settle, never on one
+that is still partitioned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.rng import RngRegistry
+
+__all__ = ["ScenarioConfig", "ScheduleEntry", "Schedule", "generate_schedule"]
+
+#: (action, weight) pairs the generator draws from.  Weights favour the
+#: traffic actions (queries, gossip) that *detect* divergence over the
+#: fault actions that *cause* it, so most schedules both break and probe.
+DEFAULT_ACTION_WEIGHTS: tuple[tuple[str, float], ...] = (
+    ("query_burst", 5.0),
+    ("gossip", 3.0),
+    ("publish", 2.0),
+    ("join", 2.0),
+    ("leave", 1.5),
+    ("crash", 1.5),
+    ("loss_ramp", 1.5),
+    ("force_move", 1.5),
+    ("partition", 1.0),
+    ("heal", 1.0),
+    ("adapt", 0.75),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioConfig:
+    """World size and fuzzing knobs for one chaos run.
+
+    The world is built from explicit counts rather than
+    ``SystemConfig.scaled`` — the paper-scale defaults collapse to a
+    single cluster at chaos-friendly sizes, which would make ownership
+    and rebalance invariants vacuous.
+    """
+
+    n_docs: int = 600
+    n_nodes: int = 60
+    n_categories: int = 12
+    n_clusters: int = 4
+    n_reps: int = 2
+    doc_size_bytes: int = 262_144
+    n_steps: int = 40
+    #: upper bound for a loss ramp's target drop probability.
+    max_loss: float = 0.25
+    #: queries per ``query_burst`` entry are drawn from [5, this].
+    query_burst_max: int = 25
+    #: never leave/crash below this many live nodes.
+    min_alive: int = 20
+    #: gossip rounds in the cooldown tail before the convergence check.
+    cooldown_gossip_rounds: int = 4
+    action_weights: tuple[tuple[str, float], ...] = DEFAULT_ACTION_WEIGHTS
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One step of a fault schedule.
+
+    ``params`` holds only JSON-safe scalars, so ``repr`` of an entry is
+    valid Python source — the replay layer leans on that to emit
+    reproducer test cases.
+    """
+
+    step: int
+    action: str
+    params: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete, replayable fault schedule for one seed."""
+
+    seed: int
+    entries: tuple[ScheduleEntry, ...]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def without(self, index: int) -> "Schedule":
+        """The same schedule minus the entry at ``index`` (for shrinking)."""
+        return Schedule(
+            seed=self.seed,
+            entries=self.entries[:index] + self.entries[index + 1 :],
+        )
+
+    def truncated(self, length: int) -> "Schedule":
+        """The schedule's first ``length`` entries."""
+        return Schedule(seed=self.seed, entries=self.entries[:length])
+
+    def to_python(self, indent: int = 0) -> str:
+        """Eval-able Python source for this schedule."""
+        pad = " " * indent
+        inner = " " * (indent + 4)
+        lines = [f"{pad}Schedule("]
+        lines.append(f"{inner}seed={self.seed},")
+        lines.append(f"{inner}entries=(")
+        for entry in self.entries:
+            lines.append(f"{inner}    {entry!r},")
+        lines.append(f"{inner}),")
+        lines.append(f"{pad})")
+        return "\n".join(lines)
+
+
+def _draw_params(action: str, rng, config: ScenarioConfig) -> dict:
+    """Concrete parameters for one action, drawn from ``rng``."""
+    if action == "query_burst":
+        return {
+            "n": int(rng.integers(5, config.query_burst_max + 1)),
+            "workload_seed": int(rng.integers(0, 2**31 - 1)),
+        }
+    if action == "gossip":
+        return {"rounds": int(rng.integers(1, 4))}
+    if action == "publish":
+        return {
+            "rank": int(rng.integers(0, 1_000_000)),
+            "category": int(rng.integers(0, config.n_categories)),
+            "n_docs": int(rng.integers(1, 4)),
+        }
+    if action == "join":
+        return {
+            "capacity": int(rng.integers(1, 6)),
+            "category": int(rng.integers(0, config.n_categories)),
+            "n_docs": int(rng.integers(0, 3)),
+        }
+    if action in ("leave", "crash"):
+        return {"rank": int(rng.integers(0, 1_000_000))}
+    if action == "loss_ramp":
+        return {
+            "target": round(float(rng.uniform(0.0, config.max_loss)), 3),
+            "steps": int(rng.integers(1, 5)),
+        }
+    if action == "force_move":
+        return {
+            "category": int(rng.integers(0, config.n_categories)),
+            "target_rank": int(rng.integers(0, 1_000_000)),
+        }
+    if action == "partition":
+        return {
+            "fraction": round(float(rng.uniform(0.2, 0.5)), 3),
+            "salt": int(rng.integers(0, 1_000_000)),
+        }
+    if action in ("heal", "adapt", "converge"):
+        return {}
+    raise ValueError(f"unknown chaos action {action!r}")
+
+
+def generate_schedule(
+    seed: int, config: ScenarioConfig | None = None
+) -> Schedule:
+    """Expand one seed into a complete fault schedule.
+
+    Deterministic: the schedule RNG is an independent named stream of the
+    seed's :class:`~repro.sim.rng.RngRegistry`, so the same ``(seed,
+    config)`` always yields the same schedule — and changing how the
+    *world* consumes randomness never perturbs the *schedule*.
+    """
+    config = config if config is not None else ScenarioConfig()
+    rng = RngRegistry(root_seed=seed).stream("chaos.schedule")
+    actions = [name for name, _weight in config.action_weights]
+    weights = [weight for _name, weight in config.action_weights]
+    total = sum(weights)
+    probabilities = [weight / total for weight in weights]
+
+    entries: list[ScheduleEntry] = []
+    for step in range(config.n_steps):
+        action = actions[int(rng.choice(len(actions), p=probabilities))]
+        entries.append(
+            ScheduleEntry(
+                step=step,
+                action=action,
+                params=_draw_params(action, rng, config),
+            )
+        )
+
+    # Cooldown tail: give every run a healed, loss-free window to settle
+    # in, then demand convergence.  Without it, the convergence invariant
+    # would flag every schedule that happens to end mid-partition.
+    step = config.n_steps
+    entries.append(ScheduleEntry(step=step, action="heal", params={}))
+    entries.append(
+        ScheduleEntry(
+            step=step + 1, action="loss_ramp", params={"target": 0.0, "steps": 1}
+        )
+    )
+    entries.append(
+        ScheduleEntry(
+            step=step + 2,
+            action="gossip",
+            params={"rounds": config.cooldown_gossip_rounds},
+        )
+    )
+    entries.append(ScheduleEntry(step=step + 3, action="converge", params={}))
+    return Schedule(seed=seed, entries=tuple(entries))

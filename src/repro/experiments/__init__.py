@@ -15,6 +15,7 @@
 | X1 | clusters vs nodes-per-cluster (fw item ii)  | ``cluster_config``|
 | X2 | requester-side caching (fw item viii)       | ``caching``       |
 | X3 | rebalancing granularity (fw item vi)        | ``granularity``   |
+| FUZZ | chaos fuzzing + invariant checks (no fig.) | ``fuzz``          |
 
 The X rows implement the paper's explicit future-work items ("fw").
 Each module exposes ``run(...) -> <Result>`` and ``format_result(result)``.
@@ -32,6 +33,7 @@ from repro.experiments import (  # noqa: F401  (re-exported for discovery)
     figure3,
     figure4,
     figure5,
+    fuzz,
     granularity,
     intra_cluster,
     rebalance_cost,
@@ -54,6 +56,7 @@ EXPERIMENTS = {
     "X1": cluster_config,
     "X2": caching,
     "X3": granularity,
+    "FUZZ": fuzz,
 }
 
 __all__ = ["EXPERIMENTS"]

@@ -6,6 +6,7 @@ Installed as ``repro-experiments``; also runnable as
     repro-experiments --list
     repro-experiments F2 F5
     repro-experiments all
+    repro-experiments fuzz --seeds 25 --check-invariants
     REPRO_SCALE=1.0 repro-experiments F2     # full paper scale
 """
 
@@ -52,12 +53,38 @@ def main(argv: list[str] | None = None) -> int:
         "--seed", type=int, default=7, help="root random seed"
     )
     parser.add_argument(
+        "--seeds",
+        type=int,
+        default=10,
+        help="fuzz only: number of consecutive seeds to run (from --seed)",
+    )
+    parser.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        help="fuzz only: scheduled fault-injection steps per seed",
+    )
+    parser.add_argument(
+        "--check-invariants",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="fuzz only: assert system-wide invariants at every quiescent step",
+    )
+    parser.add_argument(
         "--metrics-out",
         metavar="PATH",
         default=None,
         help=(
             "dump a repro.obs metrics snapshot (JSONL) here after the "
             "experiments finish"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-deterministic",
+        action="store_true",
+        help=(
+            "drop wall-clock histograms from the --metrics-out snapshot so "
+            "identical seeds produce byte-identical files"
         ),
     )
     parser.add_argument(
@@ -112,6 +139,11 @@ def main(argv: list[str] | None = None) -> int:
                 kwargs["scale"] = args.scale
             if "seed" in module.run.__code__.co_varnames:
                 kwargs["seed"] = args.seed
+            if exp_id == "FUZZ":
+                kwargs["seeds"] = args.seeds
+                kwargs["check_invariants"] = args.check_invariants
+                if args.steps is not None:
+                    kwargs["steps"] = args.steps
             with obs.Timer(obs.histogram(f"experiment.{exp_id.lower()}_s")):
                 result = module.run(**kwargs)
             elapsed = time.perf_counter() - started
@@ -123,6 +155,7 @@ def main(argv: list[str] | None = None) -> int:
                 args.metrics_out,
                 obs.REGISTRY,
                 obs.TRACE if args.trace else None,
+                deterministic=args.metrics_deterministic,
             )
             print(f"[metrics snapshot: {lines} records -> {args.metrics_out}]")
     finally:

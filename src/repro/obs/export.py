@@ -24,29 +24,46 @@ SCHEMA_VERSION = 1
 
 
 def snapshot(
-    registry: MetricsRegistry, trace: TraceLog | None = None
+    registry: MetricsRegistry,
+    trace: TraceLog | None = None,
+    deterministic: bool = False,
 ) -> list[dict]:
-    """All JSON-ready records of a registry (and optionally a trace)."""
+    """All JSON-ready records of a registry (and optionally a trace).
+
+    With ``deterministic``, plain (wall-clock) histograms are dropped:
+    they time host execution, so they differ between otherwise identical
+    runs.  Counters, gauges, and sim-time histograms are pure functions
+    of the seeded simulation, so what remains is byte-reproducible — the
+    determinism regression tests diff these snapshots directly.
+    """
+    metric_records = [
+        record
+        for record in registry.snapshot()
+        if not (deterministic and record["type"] == "histogram")
+    ]
     records: list[dict] = [
         {
             "type": "meta",
             "schema": SCHEMA_VERSION,
-            "n_metrics": len(registry),
+            "n_metrics": len(metric_records),
             "n_trace_events": len(trace) if trace is not None else 0,
             "trace_dropped": trace.dropped_events if trace is not None else 0,
         }
     ]
-    records.extend(registry.snapshot())
+    records.extend(metric_records)
     if trace is not None:
         records.extend(event.snapshot() for event in trace)
     return records
 
 
 def write_jsonl(
-    stream: TextIO, registry: MetricsRegistry, trace: TraceLog | None = None
+    stream: TextIO,
+    registry: MetricsRegistry,
+    trace: TraceLog | None = None,
+    deterministic: bool = False,
 ) -> int:
     """Write a snapshot to an open stream; returns the line count."""
-    records = snapshot(registry, trace)
+    records = snapshot(registry, trace, deterministic=deterministic)
     for record in records:
         stream.write(json.dumps(record, sort_keys=True))
         stream.write("\n")
@@ -54,11 +71,14 @@ def write_jsonl(
 
 
 def dump_jsonl(
-    path: str, registry: MetricsRegistry, trace: TraceLog | None = None
+    path: str,
+    registry: MetricsRegistry,
+    trace: TraceLog | None = None,
+    deterministic: bool = False,
 ) -> int:
     """Write a snapshot to ``path``; returns the line count."""
     with open(path, "w", encoding="utf-8") as stream:
-        return write_jsonl(stream, registry, trace)
+        return write_jsonl(stream, registry, trace, deterministic=deterministic)
 
 
 def format_text(registry: MetricsRegistry, trace: TraceLog | None = None) -> str:

@@ -40,7 +40,98 @@ from repro.overlay.rebalance import pair_nodes
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.overlay.system import P2PSystem
 
-__all__ = ["AdaptationConfig", "AdaptationOutcome", "AdaptationCoordinator"]
+__all__ = [
+    "AdaptationConfig",
+    "AdaptationOutcome",
+    "AdaptationCoordinator",
+    "plan_category_move",
+    "broadcast_notice",
+]
+
+
+def plan_category_move(
+    system: "P2PSystem",
+    category_id: int,
+    source_cluster: int,
+    target_cluster: int,
+) -> m.ReassignNotice:
+    """Build the Phase-4 :class:`~repro.overlay.messages.ReassignNotice`.
+
+    Pairs live source-cluster nodes with live destination-cluster nodes,
+    partitions the category's document set over the holders (so each
+    replicated document travels once), and bumps the move counter past the
+    authoritative assignment's.  Shared between
+    :meth:`AdaptationCoordinator.rebalance` and the chaos harness's forced
+    moves, so both exercise the same transfer protocol.
+    """
+    source_members = sorted(
+        peer.node_id for peer in system.peers_in_cluster(source_cluster)
+    )
+    destination_members = sorted(
+        peer.node_id for peer in system.peers_in_cluster(target_cluster)
+    )
+    holders = [
+        node_id
+        for node_id in source_members
+        if system.peer(node_id) is not None
+        and system.peer(node_id).dt.docs_in_category(category_id)
+    ]
+    pairs = tuple(pair_nodes(holders or source_members, destination_members))
+    # Partition the category's documents over the holders using the
+    # coordinator's cluster metadata, so replicated (hot) documents
+    # travel once instead of once per holder.
+    designated: dict[int, list[int]] = {}
+    for holder_id in holders:
+        designated[holder_id] = []
+    doc_union = sorted(
+        {
+            doc_id
+            for holder_id in holders
+            for doc_id in system.peer(holder_id).dt.docs_in_category(category_id)
+        }
+    )
+    for position, doc_id in enumerate(doc_union):
+        doc_holders = [
+            holder_id
+            for holder_id in holders
+            if system.peer(holder_id).dt.has_document(doc_id)
+        ]
+        if doc_holders:
+            designated[doc_holders[position % len(doc_holders)]].append(doc_id)
+    source_docs = tuple(
+        (holder_id, tuple(doc_ids))
+        for holder_id, doc_ids in sorted(designated.items())
+    )
+    move_counter = int(system.assignment.move_counters[category_id]) + 1
+    return m.ReassignNotice(
+        category_id=category_id,
+        source_cluster=source_cluster,
+        target_cluster=target_cluster,
+        move_counter=move_counter,
+        transfer_pairs=pairs,
+        source_docs=source_docs,
+    )
+
+
+def broadcast_notice(
+    system: "P2PSystem", notice: m.ReassignNotice, coordinator_id: int
+) -> None:
+    """Step 1 of the lazy protocol: both clusters learn the new mapping.
+
+    Sends the notice from ``coordinator_id`` to every live member of the
+    source and destination clusters, then records the move in the system's
+    authoritative assignment view.  Does *not* run the simulation — the
+    caller decides when the notices (and the transfers they trigger) land.
+    """
+    source_members = {
+        peer.node_id for peer in system.peers_in_cluster(notice.source_cluster)
+    }
+    destination_members = {
+        peer.node_id for peer in system.peers_in_cluster(notice.target_cluster)
+    }
+    for node_id in source_members | destination_members:
+        system.network.send(coordinator_id, node_id, "reassign_notice", notice)
+    system.apply_reassignment(notice.category_id, notice.target_cluster)
 
 
 @dataclass(frozen=True, slots=True)
@@ -83,6 +174,14 @@ class AdaptationOutcome:
     def bytes_used(self) -> int:
         return self.bytes_after - self.bytes_before
 
+    @property
+    def planned_fairness(self) -> float | None:
+        """Fairness the reassigner projected after its moves (None when
+        the round did not rebalance)."""
+        if self.reassign_result is None:
+            return None
+        return self.reassign_result.final_fairness
+
 
 class AdaptationCoordinator:
     """Runs adaptation rounds against a live :class:`P2PSystem`."""
@@ -92,6 +191,9 @@ class AdaptationCoordinator:
         self.config = config if config is not None else AdaptationConfig()
         #: cluster id -> (counts, weights, subtree) gathered in Phase 1.
         self._monitoring_results: dict[int, tuple[dict[int, int], dict[int, float], int]] = {}
+        #: Phase-2 load reports of the most recent round, kept for
+        #: post-round introspection (the invariant checker reads them).
+        self.last_reports: dict[int, m.LoadReport] = {}
 
     # ------------------------------------------------------------------
     # phases
@@ -258,71 +360,13 @@ class AdaptationCoordinator:
                     source=move.source_cluster,
                     target=move.target_cluster,
                 )
-            source_members = sorted(
-                peer.node_id for peer in system.peers_in_cluster(move.source_cluster)
+            notice = plan_category_move(
+                system, move.category_id, move.source_cluster, move.target_cluster
             )
-            destination_members = sorted(
-                peer.node_id
-                for peer in system.peers_in_cluster(move.target_cluster)
-            )
-            holders = [
-                node_id
-                for node_id in source_members
-                if system.peer(node_id) is not None
-                and system.peer(node_id).dt.docs_in_category(move.category_id)
-            ]
-            pairs = tuple(pair_nodes(holders or source_members, destination_members))
-            # Partition the category's documents over the holders using the
-            # coordinator's cluster metadata, so replicated (hot) documents
-            # travel once instead of once per holder.
-            designated: dict[int, list[int]] = {}
-            for index, holder_id in enumerate(holders):
-                designated[holder_id] = []
-            doc_union = sorted(
-                {
-                    doc_id
-                    for holder_id in holders
-                    for doc_id in system.peer(holder_id).dt.docs_in_category(
-                        move.category_id
-                    )
-                }
-            )
-            for position, doc_id in enumerate(doc_union):
-                doc_holders = [
-                    holder_id
-                    for holder_id in holders
-                    if system.peer(holder_id).dt.has_document(doc_id)
-                ]
-                if doc_holders:
-                    designated[doc_holders[position % len(doc_holders)]].append(
-                        doc_id
-                    )
-            source_docs = tuple(
-                (holder_id, tuple(doc_ids))
-                for holder_id, doc_ids in sorted(designated.items())
-            )
-            move_counter = (
-                int(system.assignment.move_counters[move.category_id]) + 1
-            )
-            notice = m.ReassignNotice(
-                category_id=move.category_id,
-                source_cluster=move.source_cluster,
-                target_cluster=move.target_cluster,
-                move_counter=move_counter,
-                transfer_pairs=pairs,
-                source_docs=source_docs,
-            )
-            # Step 1 of the lazy protocol: both clusters' nodes learn the
-            # new mapping, sent out by the coordinating leader.
             coordinator = leaders.get(move.source_cluster)
             if coordinator is None:
                 coordinator = next(iter(leaders.values()))
-            for node_id in set(source_members) | set(destination_members):
-                system.network.send(
-                    coordinator, node_id, "reassign_notice", notice
-                )
-            # Update the authoritative view used by later experiments.
-            system.apply_reassignment(move.category_id, move.target_cluster)
+            broadcast_notice(system, notice, coordinator)
         system.sim.run()
         return result
 
@@ -351,6 +395,7 @@ class AdaptationCoordinator:
             self.monitor(leaders, round_id)
         with self._enter_phase(round_id, "exchange"):
             reports = self.exchange_reports(leaders, round_id)
+        self.last_reports = reports
         with self._enter_phase(round_id, "evaluate"):
             fairness = self.evaluate_fairness(reports)
         obs.gauge("adapt.observed_fairness").set(fairness)

@@ -9,11 +9,15 @@ document size.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.overlay.metadata import DCRTEntry
 
 __all__ = [
+    "WIRE_TYPES",
+    "to_wire",
+    "from_wire",
     "DocInfo",
     "QueryMessage",
     "QueryResponse",
@@ -286,3 +290,87 @@ class LeaderProbeReply:
     round_id: int
     cluster_id: int
     leader_id: int
+
+
+# ----------------------------------------------------------------------
+# wire codec
+# ----------------------------------------------------------------------
+#
+# The simulated network passes payload objects by reference, but anything
+# that wants to cross a process boundary (persisted traces, replaying a
+# recorded fault schedule, an eventual real transport) needs a lossless
+# JSON-safe encoding.  ``to_wire`` / ``from_wire`` round-trip every payload
+# type above exactly: tuples come back as tuples, nested ``DCRTEntry`` /
+# ``DocInfo`` values come back as their own types.
+
+#: payload type name -> class, for decoding.
+WIRE_TYPES: dict[str, type] = {}
+
+
+def _register_wire_types() -> None:
+    for name in __all__:
+        obj = globals().get(name)
+        if isinstance(obj, type) and dataclasses.is_dataclass(obj):
+            WIRE_TYPES[obj.__name__] = obj
+
+
+def _encode(value):
+    if isinstance(value, DCRTEntry):
+        return {"$": "DCRTEntry", "v": [value.cluster_id, value.move_counter]}
+    if isinstance(value, DocInfo):
+        return {
+            "$": "DocInfo",
+            "v": [value.doc_id, [int(c) for c in value.categories], value.size_bytes],
+        }
+    if isinstance(value, tuple):
+        return [_encode(item) for item in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot encode {type(value).__name__} for the wire")
+
+
+def _decode(value):
+    if isinstance(value, dict):
+        tag = value.get("$")
+        if tag == "DCRTEntry":
+            cluster_id, move_counter = value["v"]
+            return DCRTEntry(int(cluster_id), int(move_counter))
+        if tag == "DocInfo":
+            doc_id, categories, size_bytes = value["v"]
+            return DocInfo(
+                doc_id=int(doc_id),
+                categories=tuple(int(c) for c in categories),
+                size_bytes=int(size_bytes),
+            )
+        raise TypeError(f"unknown wire tag {tag!r}")
+    if isinstance(value, list):
+        return tuple(_decode(item) for item in value)
+    return value
+
+
+def to_wire(payload) -> dict:
+    """Encode a protocol payload into a JSON-safe dict.
+
+    The result contains only dicts, lists, strings, numbers, bools, and
+    nulls, so ``json.dumps`` accepts it directly.
+    """
+    cls = type(payload)
+    if cls.__name__ not in WIRE_TYPES or WIRE_TYPES[cls.__name__] is not cls:
+        raise TypeError(f"{cls.__name__} is not a registered wire type")
+    fields = {
+        field.name: _encode(getattr(payload, field.name))
+        for field in dataclasses.fields(payload)
+    }
+    return {"type": cls.__name__, "fields": fields}
+
+
+def from_wire(record: dict):
+    """Decode a :func:`to_wire` record back into its payload object."""
+    cls = WIRE_TYPES.get(record["type"])
+    if cls is None:
+        raise TypeError(f"unknown wire type {record['type']!r}")
+    kwargs = {name: _decode(value) for name, value in record["fields"].items()}
+    return cls(**kwargs)
+
+
+_register_wire_types()

@@ -124,6 +124,21 @@ class DCRT:
     def categories(self) -> list[int]:
         return sorted(self._entries)
 
+    def items(self) -> list[tuple[int, DCRTEntry]]:
+        """All entries as sorted ``(category_id, entry)`` pairs.
+
+        Read-only introspection for invariant checkers: entries come back
+        in deterministic order and mutating the list does not touch the
+        table.
+        """
+        return sorted(self._entries.items())
+
+    def max_move_counter(self) -> int:
+        """The highest move counter in the table (0 when empty)."""
+        if not self._entries:
+            return 0
+        return max(entry.move_counter for entry in self._entries.values())
+
     def __len__(self) -> int:
         return len(self._entries)
 

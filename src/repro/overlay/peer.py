@@ -276,6 +276,30 @@ class Peer:
     def stored_bytes(self) -> int:
         return sum(info.size_bytes for info in self.docs.values())
 
+    # ------------------------------------------------------------------
+    # introspection (read-only views for invariant checkers)
+    # ------------------------------------------------------------------
+    def doc_ids(self) -> list[int]:
+        """Sorted ids of all locally stored documents."""
+        return sorted(self.docs)
+
+    def dcrt_items(self) -> list[tuple[int, DCRTEntry]]:
+        """Sorted ``(category_id, entry)`` pairs of the local DCRT."""
+        return self.dcrt.items()
+
+    def transfer_backlog(self) -> dict[int, int]:
+        """Category -> number of queries parked on a pending transfer.
+
+        Non-empty entries at quiescence mean a transfer pull was lost and
+        the queries it was holding will never be answered — exactly the
+        kind of leak the chaos harness watches for.
+        """
+        return {
+            category_id: len(pending.waiting_queries)
+            for category_id, pending in sorted(self._pending_transfers.items())
+            if pending.waiting_queries
+        }
+
     def join_cluster(self, cluster_id: int, known_members: Iterable[int] = ()) -> None:
         """Become a member of ``cluster_id`` and learn some fellows."""
         newly = cluster_id not in self.memberships

@@ -397,6 +397,50 @@ class P2PSystem:
         }
 
     # ------------------------------------------------------------------
+    # introspection (read-only views for the chaos/invariant harness)
+    # ------------------------------------------------------------------
+    def all_node_ids(self) -> list[int]:
+        """Sorted ids of every peer ever created (including departed)."""
+        return sorted(self._peers)
+
+    def departed_node_ids(self) -> list[int]:
+        """Sorted ids of peers that left or crashed out of the system."""
+        return sorted(self._departed)
+
+    def cluster_members_view(self) -> dict[int, set[int]]:
+        """Copy of the system's authoritative cluster membership sets."""
+        return {
+            cluster_id: set(members)
+            for cluster_id, members in sorted(self._cluster_members.items())
+        }
+
+    def doc_holders_view(self) -> dict[int, set[int]]:
+        """Copy of the cluster metadata: document id -> holder node ids."""
+        return {
+            doc_id: set(holders)
+            for doc_id, holders in sorted(self._doc_holders.items())
+            if holders
+        }
+
+    def stored_docs_by_node(self) -> dict[int, set[int]]:
+        """Document ids physically held by each peer object.
+
+        Includes departed and crashed peers: their copies still exist (a
+        crashed node keeps its disk), which is what document-conservation
+        checks need to distinguish "unreachable" from "destroyed".
+        """
+        return {
+            node_id: set(peer.docs) for node_id, peer in sorted(self._peers.items())
+        }
+
+    def query_ledger(self) -> dict[int, dict]:
+        """Copies of the current workload's per-query bookkeeping."""
+        return {
+            global_id: dict(record.outcome_args)
+            for global_id, record in sorted(self._queries.items())
+        }
+
+    # ------------------------------------------------------------------
     # bookkeeping callbacks
     # ------------------------------------------------------------------
     def _register_membership(self, peer: Peer, cluster_id: int) -> None:

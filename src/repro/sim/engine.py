@@ -75,6 +75,12 @@ class Simulator:
         #: ``hook(event, elapsed_seconds)`` after each dispatched callback.
         #: ``None`` (the default) skips the wall-clock reads entirely.
         self.event_hook: Callable[[Event, float], None] | None = None
+        #: callbacks fired when :meth:`run` drains the queue after having
+        #: processed at least one event — i.e. at every quiescent point of
+        #: the simulation.  Registered via :meth:`on_quiescence`; used by
+        #: the chaos harness to check system-wide invariants exactly when
+        #: no message is in flight.
+        self._quiescence_hooks: list[Callable[[], None]] = []
         self._c_processed = obs.counter("sim.events_processed")
         self._g_queue_depth = obs.gauge("sim.queue_depth")
 
@@ -86,6 +92,31 @@ class Simulator:
     def _note_cancel(self) -> None:
         """An owned event was cancelled; keep :meth:`pending` exact."""
         self._live -= 1
+
+    @property
+    def is_quiescent(self) -> bool:
+        """True when no live event is pending (nothing in flight)."""
+        return self._live == 0
+
+    def on_quiescence(self, hook: Callable[[], None]) -> Callable[[], None]:
+        """Register ``hook`` to fire whenever :meth:`run` reaches quiescence.
+
+        Quiescence means the event queue drained after at least one event
+        was processed this run — every message has landed or been dropped,
+        no callback is mid-flight.  Hooks run in registration order, while
+        the simulator is still marked running, so a hook that re-enters
+        :meth:`run` raises :class:`SimulationError` — hooks must observe,
+        not drive.  Returns a zero-argument unregister function.
+        """
+        self._quiescence_hooks.append(hook)
+
+        def unregister() -> None:
+            try:
+                self._quiescence_hooks.remove(hook)
+            except ValueError:
+                pass
+
+        return unregister
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to fire ``delay`` time units from now."""
@@ -200,6 +231,11 @@ class Simulator:
                 processed_this_run += 1
             if until is not None and until > self._now:
                 self._now = until
+            if processed_this_run and self._quiescence_hooks:
+                # The queue drained: every message landed or was dropped.
+                # tuple() so a hook unregistering itself is safe mid-sweep.
+                for hook in tuple(self._quiescence_hooks):
+                    hook()
         finally:
             self._c_processed.value += processed_this_run
             self._g_queue_depth.value = self._live

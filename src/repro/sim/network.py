@@ -159,6 +159,14 @@ class Network:
     def is_alive(self, node_id: int) -> bool:
         return node_id in self._handlers and node_id not in self._crashed
 
+    def registered_nodes(self) -> list[int]:
+        """Sorted ids of all nodes with a handler (alive or crashed)."""
+        return sorted(self._handlers)
+
+    def crashed_nodes(self) -> list[int]:
+        """Sorted ids of nodes currently marked crashed."""
+        return sorted(self._crashed)
+
     # ------------------------------------------------------------------
     # partitions
     # ------------------------------------------------------------------
@@ -173,6 +181,78 @@ class Network:
 
     def _same_partition(self, a: int, b: int) -> bool:
         return self._partition.get(a, 0) == self._partition.get(b, 0)
+
+    def partition_labels(self) -> dict[int, int]:
+        """A copy of the node -> partition-label map (empty when healed)."""
+        return dict(self._partition)
+
+    def is_partitioned(self) -> bool:
+        """True when registered nodes span more than one partition label."""
+        if not self._partition:
+            return False
+        labels = {self._partition.get(node_id, 0) for node_id in self._handlers}
+        return len(labels) > 1
+
+    # ------------------------------------------------------------------
+    # scheduled fault controls (chaos harness)
+    # ------------------------------------------------------------------
+    def set_drop_probability(self, probability: float) -> None:
+        """Change the random-loss probability mid-run.
+
+        Raising it above zero requires the network to have been built with
+        an ``rng`` (drop decisions must come from a named stream so the
+        run stays reproducible).
+        """
+        if not 0.0 <= probability < 1.0:
+            raise ValueError(
+                f"drop_probability must be in [0, 1), got {probability}"
+            )
+        if probability > 0.0 and self.rng is None:
+            raise ValueError("drop_probability > 0 requires an rng")
+        self.drop_probability = probability
+
+    def schedule_partition(self, delay: float, groups) -> None:
+        """Schedule a partitioning: each group of node ids gets its own label.
+
+        ``groups`` is an iterable of node-id iterables; the first group gets
+        label 1, the second label 2, and so on.  Nodes in no group keep the
+        default label 0 (and so can still talk to each other).
+        """
+        groups = [list(group) for group in groups]
+
+        def apply() -> None:
+            for label, group in enumerate(groups, start=1):
+                self.set_partition(group, label)
+
+        self.sim.schedule(delay, apply)
+
+    def schedule_heal(self, delay: float) -> None:
+        """Schedule a full partition heal."""
+        self.sim.schedule(delay, self.heal_partitions)
+
+    def schedule_loss_ramp(
+        self, target: float, duration: float, steps: int = 4
+    ) -> None:
+        """Ramp the drop probability to ``target`` over ``duration``.
+
+        The probability moves in ``steps`` equal increments from its value
+        at ramp start, the last step landing exactly on ``target`` — the
+        gradually-degrading-link regime rather than a cliff.
+        """
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        start = self.drop_probability
+
+        def make_step(index: int):
+            fraction = index / steps
+            return lambda: self.set_drop_probability(
+                start + (target - start) * fraction
+            )
+
+        for index in range(1, steps + 1):
+            self.sim.schedule(duration * index / steps, make_step(index))
 
     # ------------------------------------------------------------------
     # sending

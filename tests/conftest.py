@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.chaos import ScenarioConfig
 from repro.core.maxfair import maxfair
 from repro.core.popularity import build_category_stats
 from repro.core.replication import plan_replication
@@ -47,6 +48,20 @@ def small_assignment(small_instance, small_stats):
 @pytest.fixture(scope="session")
 def small_plan(small_instance, small_assignment):
     return plan_replication(small_instance, small_assignment, n_reps=2, hot_mass=0.35)
+
+
+@pytest.fixture(scope="session")
+def chaos_config() -> ScenarioConfig:
+    """A small, fast chaos scenario shared by the chaos tests."""
+    return ScenarioConfig(
+        n_docs=300,
+        n_nodes=40,
+        n_categories=8,
+        n_clusters=3,
+        n_steps=12,
+        query_burst_max=10,
+        min_alive=14,
+    )
 
 
 @pytest.fixture(scope="session")

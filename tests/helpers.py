@@ -116,3 +116,61 @@ class MicroOverlay:
 
     def run(self) -> None:
         self.sim.run()
+
+
+# ----------------------------------------------------------------------
+# canonical full-system worlds
+# ----------------------------------------------------------------------
+#
+# Most overlay integration tests want the same thing: a scaled Zipf
+# scenario, a MaxFair assignment, a replication plan, and optionally a
+# live P2PSystem on top.  Building that by hand in every module drifted
+# into near-identical copies; these two builders are the single source.
+
+from repro.core.maxfair import maxfair  # noqa: E402
+from repro.core.popularity import build_category_stats  # noqa: E402
+from repro.core.replication import plan_replication  # noqa: E402
+from repro.model.workload import zipf_category_scenario  # noqa: E402
+from repro.overlay.system import P2PSystem  # noqa: E402
+
+
+def build_world(
+    scale: float = 0.02,
+    seed: int = 31,
+    *,
+    with_stats: bool = False,
+    n_reps: int = 2,
+    hot_mass: float = 0.35,
+):
+    """``(instance, assignment, plan)`` for a scaled Zipf scenario.
+
+    ``with_stats`` routes the assignment through explicitly built
+    category statistics (the historical spelling some tests pinned).
+    """
+    instance = zipf_category_scenario(scale=scale, seed=seed)
+    if with_stats:
+        assignment = maxfair(instance, stats=build_category_stats(instance))
+    else:
+        assignment = maxfair(instance)
+    plan = plan_replication(instance, assignment, n_reps=n_reps, hot_mass=hot_mass)
+    return instance, assignment, plan
+
+
+def build_live_system(
+    scale: float = 0.02,
+    seed: int = 31,
+    *,
+    config=None,
+    with_stats: bool = False,
+    with_plan: bool = True,
+    n_reps: int = 2,
+    hot_mass: float = 0.35,
+):
+    """``(instance, system)``: a booted :class:`P2PSystem` on a fresh world."""
+    instance, assignment, plan = build_world(
+        scale, seed, with_stats=with_stats, n_reps=n_reps, hot_mass=hot_mass
+    )
+    system = P2PSystem(
+        instance, assignment, plan=plan if with_plan else None, config=config
+    )
+    return instance, system

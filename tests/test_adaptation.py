@@ -2,27 +2,16 @@
 
 import pytest
 
-from repro.core.maxfair import maxfair
-from repro.core.popularity import build_category_stats
-from repro.core.replication import plan_replication
-from repro.model.workload import (
-    add_hot_documents,
-    make_query_workload,
-    zipf_category_scenario,
-)
+from repro.model.workload import add_hot_documents, make_query_workload
 from repro.overlay.adaptation import AdaptationConfig
 from repro.overlay.peer import DocInfo
-from repro.overlay.system import P2PSystem
+
+from tests.helpers import build_live_system
 
 
 @pytest.fixture(scope="module")
 def live_system():
-    instance = zipf_category_scenario(scale=0.02, seed=5)
-    stats = build_category_stats(instance)
-    assignment = maxfair(instance, stats=stats)
-    plan = plan_replication(instance, assignment, n_reps=2, hot_mass=0.35)
-    system = P2PSystem(instance, assignment, plan=plan)
-    return instance, system
+    return build_live_system(scale=0.02, seed=5, with_stats=True)
 
 
 class TestAdaptationConfig:
@@ -79,11 +68,7 @@ class TestAdaptationRound:
 class TestFlashCrowdRecovery:
     def test_full_loop(self):
         """Flash crowd -> detection -> rebalance -> stable."""
-        instance = zipf_category_scenario(scale=0.02, seed=9)
-        stats = build_category_stats(instance)
-        assignment = maxfair(instance, stats=stats)
-        plan = plan_replication(instance, assignment, n_reps=2, hot_mass=0.35)
-        system = P2PSystem(instance, assignment, plan=plan)
+        instance, system = build_live_system(scale=0.02, seed=9, with_stats=True)
 
         perturbation = add_hot_documents(
             instance, mass_fraction=0.45, seed=3, category_subset_fraction=0.1
@@ -121,10 +106,9 @@ class TestFlashCrowdRecovery:
         assert fairness[-1] >= config.low_threshold
 
     def test_moves_update_authoritative_assignment(self):
-        instance = zipf_category_scenario(scale=0.02, seed=9)
-        stats = build_category_stats(instance)
-        assignment = maxfair(instance, stats=stats)
-        system = P2PSystem(instance, assignment)
+        instance, system = build_live_system(
+            scale=0.02, seed=9, with_stats=True, with_plan=False
+        )
         before = system.assignment.category_to_cluster.copy()
 
         add_hot_documents(

@@ -4,13 +4,11 @@ import numpy as np
 import pytest
 
 from repro.core.fairness import jain_fairness
-from repro.core.maxfair import maxfair
-from repro.core.replication import plan_replication
-from repro.model.workload import make_query_workload, zipf_category_scenario
+from repro.model.workload import make_query_workload
 from repro.overlay.peer import PeerConfig
 from repro.overlay.system import P2PSystem, P2PSystemConfig
 
-from tests.helpers import MicroOverlay
+from tests.helpers import MicroOverlay, build_world
 
 
 def _cached_overlay(capacity=4):
@@ -115,9 +113,7 @@ class TestSystemLevelCache:
     def test_caching_spreads_hot_load(self):
         """With caching on, the hottest documents' load spreads over the
         peers that retrieved them, improving load fairness."""
-        instance = zipf_category_scenario(scale=0.02, seed=41)
-        assignment = maxfair(instance)
-        plan = plan_replication(instance, assignment, n_reps=2, hot_mass=0.0)
+        instance, assignment, plan = build_world(scale=0.02, seed=41, hot_mass=0.0)
         workload = make_query_workload(instance, 4000, seed=42)
 
         def run_with(capacity):

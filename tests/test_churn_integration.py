@@ -2,24 +2,15 @@
 
 import pytest
 
-from repro.core.maxfair import maxfair
-from repro.core.replication import plan_replication
 from repro.metrics.response import summarize_responses
-from repro.model.workload import (
-    make_query_workload,
-    node_churn_events,
-    zipf_category_scenario,
-)
-from repro.overlay.system import P2PSystem
+from repro.model.workload import make_query_workload, node_churn_events
+
+from tests.helpers import build_live_system
 
 
 @pytest.fixture()
 def churny_world():
-    instance = zipf_category_scenario(scale=0.02, seed=81)
-    assignment = maxfair(instance)
-    plan = plan_replication(instance, assignment, n_reps=2, hot_mass=0.35)
-    system = P2PSystem(instance, assignment, plan=plan)
-    return instance, system
+    return build_live_system(scale=0.02, seed=81)
 
 
 class TestScheduledChurn:

@@ -2,21 +2,19 @@
 
 import pytest
 
-from repro.core.maxfair import maxfair
-from repro.model.workload import zipf_category_scenario
 from repro.overlay.epidemic import (
     GossipDriver,
     dcrt_convergence,
     run_gossip_until_converged,
 )
-from repro.overlay.system import P2PSystem
+
+from tests.helpers import build_live_system
 
 
 @pytest.fixture()
 def gossip_system():
-    instance = zipf_category_scenario(scale=0.02, seed=21)
-    assignment = maxfair(instance)
-    return P2PSystem(instance, assignment)
+    _instance, system = build_live_system(scale=0.02, seed=21, with_plan=False)
+    return system
 
 
 class TestConvergenceMeasurement:

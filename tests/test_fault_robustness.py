@@ -3,17 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.core.maxfair import maxfair
-from repro.core.replication import plan_replication
 from repro.metrics.response import summarize_responses
-from repro.model.workload import make_query_workload, zipf_category_scenario
+from repro.model.workload import make_query_workload
 from repro.overlay.epidemic import dcrt_convergence
 from repro.overlay.metadata import DCRTEntry
-from repro.overlay.system import P2PSystem
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
 
-from tests.helpers import MicroOverlay
+from tests.helpers import MicroOverlay, build_live_system
 
 
 class TestLossyGossip:
@@ -54,15 +51,12 @@ class TestDeadClusterQueries:
         assert overlay.hooks.responses == []
 
     def test_whole_cluster_crash_bounded_failure(self):
-        instance = zipf_category_scenario(scale=0.05, seed=91)
-        assignment = maxfair(instance)
-        plan = plan_replication(instance, assignment, n_reps=2, hot_mass=0.35)
-        system = P2PSystem(instance, assignment, plan=plan)
+        instance, system = build_live_system(scale=0.05, seed=91)
         # Kill every *exclusive* member of the smallest cluster (members
         # shared with other clusters stay up, as they would in practice).
         sizes = {
             cluster_id: len(system.peers_in_cluster(cluster_id))
-            for cluster_id in range(assignment.n_clusters)
+            for cluster_id in range(system.assignment.n_clusters)
             if system.peers_in_cluster(cluster_id)
         }
         victim_cluster = min(sizes, key=sizes.get)

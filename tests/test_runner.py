@@ -66,3 +66,34 @@ class TestCLI:
             )
 
         assert run_once() == run_once()  # deterministic for a seed
+
+    def test_deterministic_metrics_snapshots_byte_identical(
+        self, capsys, tmp_path
+    ):
+        """Two figure-2 runs with the same seed produce byte-identical
+        metrics snapshots in --metrics-deterministic mode (wall-clock
+        timer histograms are excluded; everything else must match)."""
+
+        def run_once(path) -> bytes:
+            assert (
+                main(
+                    [
+                        "F2",
+                        "--scale",
+                        "0.05",
+                        "--seed",
+                        "5",
+                        "--metrics-out",
+                        str(path),
+                        "--metrics-deterministic",
+                    ]
+                )
+                == 0
+            )
+            capsys.readouterr()
+            return path.read_bytes()
+
+        first = run_once(tmp_path / "a.jsonl")
+        second = run_once(tmp_path / "b.jsonl")
+        assert first == second
+        assert b'"type": "histogram"' not in first  # wall-clock excluded

@@ -3,19 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.core.maxfair import maxfair
-from repro.core.replication import plan_replication
 from repro.metrics.response import summarize_responses
-from repro.model.workload import make_query_workload, zipf_category_scenario
+from repro.model.workload import make_query_workload
 from repro.overlay.system import P2PSystem, P2PSystemConfig
+
+from tests.helpers import build_world
 
 
 @pytest.fixture(scope="module")
 def world():
-    instance = zipf_category_scenario(scale=0.02, seed=51)
-    assignment = maxfair(instance)
-    plan = plan_replication(instance, assignment, n_reps=2, hot_mass=0.0)
-    return instance, assignment, plan
+    return build_world(scale=0.02, seed=51, hot_mass=0.0)
 
 
 def _run(world, mode):
