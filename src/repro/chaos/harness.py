@@ -27,6 +27,7 @@ from repro.model.workload import make_query_workload
 from repro.overlay.adaptation import broadcast_notice, plan_category_move
 from repro.overlay.peer import DocInfo
 from repro.overlay.system import P2PSystem, P2PSystemConfig
+from repro.reliability import RELIABLE_KINDS, ReliabilityConfig
 
 __all__ = ["ChaosReport", "ChaosRunner", "run_schedule"]
 
@@ -107,7 +108,10 @@ class ChaosRunner:
             self.instance,
             assignment,
             plan=plan,
-            config=P2PSystemConfig(seed=schedule.seed),
+            config=P2PSystemConfig(
+                seed=schedule.seed,
+                reliability=ReliabilityConfig(enabled=config.reliability),
+            ),
         )
         # Random loss needs a generator; give the network its own named
         # stream so loss draws never perturb protocol randomness.
@@ -230,7 +234,22 @@ class ChaosRunner:
 
     def _do_heal(self, step: int) -> bool:
         self.system.network.schedule_heal(0.0)
+        self.system.network.clear_kind_drop_probabilities()
         self.system.sim.run()
+        return True
+
+    def _do_ack_loss(self, step: int, probability: float) -> bool:
+        # Every reliable payload arrives; its ack may not.  Senders then
+        # retransmit already-applied deliveries, exercising the receiver's
+        # duplicate-suppression window end to end.
+        self.system.network.set_kind_drop_probability("ack", probability)
+        return True
+
+    def _do_retry_storm(self, step: int, probability: float) -> bool:
+        # Drop the reliable request kinds themselves, forcing backoff
+        # chains (and give-ups feeding the failure detector) at scale.
+        for kind in sorted(RELIABLE_KINDS):
+            self.system.network.set_kind_drop_probability(kind, probability)
         return True
 
     def _do_force_move(self, step: int, category: int, target_rank: int) -> bool:

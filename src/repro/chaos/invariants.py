@@ -22,6 +22,10 @@ drained*, no matter what faults the scenario injected:
 ``membership-consistency``
     Live peers' cluster memberships and the system's authoritative
     membership sets agree.
+``exactly-once-effects``
+    No reliable delivery was ever applied more than once by its
+    receiver: retried publishes and transfers must not double-count
+    documents or bytes (the dedup window suppresses retransmissions).
 ``query-termination``
     Every issued query ends answered, unanswered, or failed — outcome
     states are mutually exclusive and every outcome is classifiable.
@@ -57,6 +61,7 @@ STRUCTURAL_INVARIANTS = (
     "doc-conservation",
     "holder-consistency",
     "membership-consistency",
+    "exactly-once-effects",
 )
 
 _EPS = 1e-9
@@ -137,6 +142,7 @@ class InvariantChecker:
         self._run("doc-conservation", self._check_conservation)
         self._run("holder-consistency", self._check_holders)
         self._run("membership-consistency", self._check_membership)
+        self._run("exactly-once-effects", self._check_exactly_once)
 
     def _check_unique_ownership(self):
         assignment = self.system.assignment
@@ -227,6 +233,20 @@ class InvariantChecker:
                     yield (
                         f"node {peer.node_id} believes it is in cluster "
                         f"{cluster_id} but the system does not list it"
+                    )
+
+    def _check_exactly_once(self):
+        # Each peer counts handler applications per (src, delivery_id);
+        # a count above one means a retransmission slipped past the
+        # dedup window and re-ran its protocol handler.
+        for peer in self.system.alive_peers():
+            for (src, delivery_id), count in sorted(
+                peer.reliable_application_counts().items()
+            ):
+                if count > 1:
+                    yield (
+                        f"node {peer.node_id} applied delivery "
+                        f"{delivery_id} from node {src} {count} times"
                     )
 
     # ------------------------------------------------------------------

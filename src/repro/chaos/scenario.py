@@ -36,6 +36,8 @@ DEFAULT_ACTION_WEIGHTS: tuple[tuple[str, float], ...] = (
     ("partition", 1.0),
     ("heal", 1.0),
     ("adapt", 0.75),
+    ("ack_loss", 0.75),
+    ("retry_storm", 0.75),
 )
 
 
@@ -64,6 +66,9 @@ class ScenarioConfig:
     min_alive: int = 20
     #: gossip rounds in the cooldown tail before the convergence check.
     cooldown_gossip_rounds: int = 4
+    #: run the world with the ack/retry reliability layer enabled, so
+    #: chaos exercises retransmission and duplicate-suppression paths.
+    reliability: bool = True
     action_weights: tuple[tuple[str, float], ...] = DEFAULT_ACTION_WEIGHTS
 
 
@@ -154,6 +159,14 @@ def _draw_params(action: str, rng, config: ScenarioConfig) -> dict:
             "fraction": round(float(rng.uniform(0.2, 0.5)), 3),
             "salt": int(rng.integers(0, 1_000_000)),
         }
+    if action == "ack_loss":
+        # Drop only acks: every reliable message arrives, every receipt
+        # confirmation may not — the pure duplicate-delivery regime.
+        return {"probability": round(float(rng.uniform(0.1, 0.5)), 3)}
+    if action == "retry_storm":
+        # Drop reliable request kinds hard enough to force retransmission
+        # chains (and some give-ups) across many concurrent deliveries.
+        return {"probability": round(float(rng.uniform(0.2, 0.6)), 3)}
     if action in ("heal", "adapt", "converge"):
         return {}
     raise ValueError(f"unknown chaos action {action!r}")

@@ -16,6 +16,7 @@
 | X2 | requester-side caching (fw item viii)       | ``caching``       |
 | X3 | rebalancing granularity (fw item vi)        | ``granularity``   |
 | FUZZ | chaos fuzzing + invariant checks (no fig.) | ``fuzz``          |
+| LOSS | query delivery vs message loss (no fig.)   | ``loss``          |
 
 The X rows implement the paper's explicit future-work items ("fw").
 Each module exposes ``run(...) -> <Result>`` and ``format_result(result)``.
@@ -36,6 +37,7 @@ from repro.experiments import (  # noqa: F401  (re-exported for discovery)
     fuzz,
     granularity,
     intra_cluster,
+    loss,
     rebalance_cost,
     scaling,
     storage,
@@ -57,6 +59,7 @@ EXPERIMENTS = {
     "X2": caching,
     "X3": granularity,
     "FUZZ": fuzz,
+    "LOSS": loss,
 }
 
 __all__ = ["EXPERIMENTS"]

@@ -71,6 +71,15 @@ def main(argv: list[str] | None = None) -> int:
         help="fuzz only: assert system-wide invariants at every quiescent step",
     )
     parser.add_argument(
+        "--repro-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "fuzz only: write the shrunk pytest reproducer here when a "
+            "seed violates an invariant (nothing is written on success)"
+        ),
+    )
+    parser.add_argument(
         "--metrics-out",
         metavar="PATH",
         default=None,
@@ -130,6 +139,7 @@ def main(argv: list[str] | None = None) -> int:
     obs.reset()  # a fresh observation window per CLI invocation
     if args.trace:
         obs.TRACE.enable()
+    fuzz_failed = False
     try:
         for exp_id in wanted:
             module = EXPERIMENTS[exp_id]
@@ -150,6 +160,12 @@ def main(argv: list[str] | None = None) -> int:
             print(module.format_result(result))
             print(f"[{exp_id} completed in {elapsed:.1f}s]")
             print()
+            if exp_id == "FUZZ" and result.failing_seeds:
+                fuzz_failed = True
+                if args.repro_out is not None and result.minimal_repro:
+                    with open(args.repro_out, "w", encoding="utf-8") as handle:
+                        handle.write(result.minimal_repro)
+                    print(f"[fuzz reproducer -> {args.repro_out}]")
         if args.metrics_out is not None:
             lines = obs.dump_jsonl(
                 args.metrics_out,
@@ -161,7 +177,9 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if args.trace:
             obs.TRACE.disable()
-    return 0
+    # Invariant violations must fail the invocation (CI gates on this);
+    # 1 is distinct from the argument-error exit code 2.
+    return 1 if fuzz_failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -129,8 +129,15 @@ def broadcast_notice(
     destination_members = {
         peer.node_id for peer in system.peers_in_cluster(notice.target_cluster)
     }
+    # Route through the coordinator peer's send path so the notices get
+    # ack/retry protection when reliability is enabled; fall back to the
+    # raw network if the coordinator is gone (chaos-induced).
+    coordinator = system.peer(coordinator_id)
     for node_id in source_members | destination_members:
-        system.network.send(coordinator_id, node_id, "reassign_notice", notice)
+        if coordinator is not None:
+            coordinator._send(node_id, "reassign_notice", notice)
+        else:
+            system.network.send(coordinator_id, node_id, "reassign_notice", notice)
     system.apply_reassignment(notice.category_id, notice.target_cluster)
 
 

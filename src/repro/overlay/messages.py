@@ -37,6 +37,9 @@ __all__ = [
     "CapabilityAnnounce",
     "LeaderProbe",
     "LeaderProbeReply",
+    "Ack",
+    "Ping",
+    "Pong",
     "CONTROL_SIZE",
 ]
 
@@ -290,6 +293,35 @@ class LeaderProbeReply:
     round_id: int
     cluster_id: int
     leader_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class Ack:
+    """Receipt acknowledgement for a reliably-sent message.
+
+    ``delivery_id`` is the sender-side id that stays stable across
+    retransmissions, so any attempt's ack settles the delivery.
+    """
+
+    delivery_id: int
+    receiver_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class Ping:
+    """Heartbeat probe from the failure detector (Section 6.1's liveness
+    assumption made explicit): "are you there?"."""
+
+    probe_id: int
+    prober_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class Pong:
+    """Heartbeat reply: the probed node confirming liveness."""
+
+    probe_id: int
+    responder_id: int
 
 
 # ----------------------------------------------------------------------

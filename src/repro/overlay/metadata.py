@@ -186,17 +186,25 @@ class NRT:
         members = self._clusters.get(cluster_id)
         return list(members) if members is not None else []
 
-    def random_node(self, cluster_id: int, rng) -> int | None:
+    def random_node(self, cluster_id: int, rng, exclude=()) -> int | None:
         """Pick a uniformly random known member of ``cluster_id``.
 
         Random selection is the paper's intra-cluster dispatch rule: it
         "can ensure that cluster nodes get an equal share of the workload
-        targeting their cluster" (Section 3.3).
+        targeting their cluster" (Section 3.3).  ``exclude`` removes
+        candidates (already-tried failover targets, suspected-dead nodes)
+        before the draw; with nothing to exclude the rng consumption is
+        identical to the plain call.
         """
         members = self._clusters.get(cluster_id)
         if not members:
             return None
-        node_ids = list(members)
+        if exclude:
+            node_ids = [node_id for node_id in members if node_id not in exclude]
+            if not node_ids:
+                return None
+        else:
+            node_ids = list(members)
         choice = node_ids[int(rng.integers(0, len(node_ids)))]
         members.move_to_end(choice)
         return choice

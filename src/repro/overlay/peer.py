@@ -38,6 +38,12 @@ from repro.overlay import messages as m
 from repro.overlay.cluster import elect_leader
 from repro.overlay.messages import DocInfo
 from repro.overlay.metadata import DCRT, DCRTEntry, NRT, DocumentTable
+from repro.reliability.channel import (
+    RELIABLE_KINDS,
+    ReliabilityConfig,
+    ReliableChannel,
+)
+from repro.reliability.detector import FailureDetector
 from repro.sim.network import Message, Network
 
 __all__ = ["DocInfo", "PeerConfig", "PeerHooks", "Peer"]
@@ -50,6 +56,11 @@ _C_QUERIES_SERVED = obs.counter("overlay.queries_served")
 _C_QUERIES_FORWARDED = obs.counter("overlay.queries_forwarded")
 _C_QUERIES_FAILED = obs.counter("overlay.queries_failed")
 _C_GOSSIP_SENT = obs.counter("overlay.gossip_messages")
+_C_QUERY_FAILOVERS = obs.counter("reliability.query_failovers")
+#: total loop-detection entries across all peers (leak watchdog).
+_G_SEEN_QUERIES = obs.gauge("overlay.seen_query_entries")
+
+_NO_SUSPECTS: frozenset[int] = frozenset()
 
 
 @dataclass(frozen=True, slots=True)
@@ -71,6 +82,12 @@ class PeerConfig:
     #: retrieved documents kept as servable replicas, LRU-evicted.
     #: 0 disables caching.
     cache_capacity: int = 0
+    #: most-recent query ids remembered for loop detection; bounds what
+    #: used to be unbounded growth over long runs.
+    seen_query_capacity: int = 4096
+    #: ack/retry channel, query failover, and failure-detector knobs
+    #: (off by default — protocols stay fire-and-forget).
+    reliability: ReliabilityConfig = ReliabilityConfig()
 
 
 class PeerHooks:
@@ -140,6 +157,23 @@ class _MonitoringRound:
 
 
 @dataclass(slots=True)
+class _QueryAttempt:
+    """Failover state of a query this peer originated (reliability on).
+
+    ``tried`` accumulates dispatch targets so each deadline expiry
+    retries against a *different* NRT member of the target cluster.
+    """
+
+    query_id: int
+    category_id: int
+    m_results: int
+    target_doc_id: int
+    tried: set[int] = field(default_factory=set)
+    attempts: int = 0
+    settled: bool = False
+
+
+@dataclass(slots=True)
 class _PendingTransfer:
     """A document group owed to this peer by its paired source node."""
 
@@ -165,6 +199,9 @@ class Peer:
         Observation callbacks.
     config:
         Behaviour tunables.
+    jitter_rng:
+        Named stream for retry-backoff jitter; consulted only when a
+        retransmission actually fires, so loss-free runs never touch it.
     """
 
     def __init__(
@@ -175,6 +212,7 @@ class Peer:
         rng: np.random.Generator,
         hooks: PeerHooks | None = None,
         config: PeerConfig | None = None,
+        jitter_rng: np.random.Generator | None = None,
     ) -> None:
         self.node_id = node_id
         self.capacity_units = capacity_units
@@ -206,7 +244,28 @@ class Peer:
         #: alternative); empty in the fully-replicated-metadata mode.
         self.super_peers: dict[int, int] = {}
 
-        self._seen_queries: set[int] = set()
+        #: reliable delivery: both halves of the ack/retry protocol plus
+        #: the heartbeat failure detector.  Constructed unconditionally —
+        #: the receiver side (ack + dedup) must work even when this peer
+        #: does not itself send reliably; the sender side only engages
+        #: when ``config.reliability.enabled``.
+        self._reliability = self.config.reliability
+        self.channel = ReliableChannel(
+            node_id,
+            network,
+            self._reliability,
+            jitter_rng=jitter_rng,
+            on_give_up=self._on_delivery_give_up,
+        )
+        self.detector = FailureDetector(node_id, network, self._reliability)
+
+        #: recently seen query ids (loop detection), LRU-bounded.
+        self._seen_queries: "OrderedDict[int, None]" = OrderedDict()
+        #: query id -> failover state for queries this peer originated.
+        self._query_attempts: dict[int, _QueryAttempt] = {}
+        #: (src, delivery_id) -> times the protocol handler ran for it;
+        #: the exactly-once chaos invariant asserts every count is 1.
+        self._applied_counts: "OrderedDict[tuple[int, int], int]" = OrderedDict()
         self._monitoring: dict[tuple[int, int], _MonitoringRound] = {}
         self._publish_retries: dict[tuple[int, int], int] = {}
         #: category -> transfer owed to us during a category move.
@@ -242,6 +301,9 @@ class Peer:
             "transfer_data": self._handle_transfer_data,
             "gossip": self._handle_gossip,
             "gossip_reply": self._handle_gossip_reply,
+            "ack": self._handle_ack,
+            "ping": self._handle_ping,
+            "pong": self._handle_pong,
         }
         network.register(node_id, self.handle_message)
 
@@ -249,14 +311,73 @@ class Peer:
     # plumbing
     # ------------------------------------------------------------------
     def handle_message(self, message: Message) -> None:
-        """Network entry point: dispatch on the message kind."""
+        """Network entry point: ack/dedup reliable traffic, then dispatch."""
+        self.detector.note_alive(message.src)
+        if self.channel.observe(message):
+            return  # duplicate of an already-applied reliable delivery
+        if message.delivery_id >= 0:
+            key = (message.src, message.delivery_id)
+            previous = self._applied_counts.get(key)
+            self._applied_counts[key] = 1 if previous is None else previous + 1
+            if previous is None:
+                while len(self._applied_counts) > self._reliability.dedup_capacity:
+                    self._applied_counts.popitem(last=False)
         handler = self._dispatch.get(message.kind)
         if handler is None:
             raise ValueError(f"peer {self.node_id}: unknown kind {message.kind!r}")
         handler(message)
 
     def _send(self, dst: int, kind: str, payload, size: int = m.CONTROL_SIZE) -> None:
-        self.network.send(self.node_id, dst, kind, payload, size_bytes=size)
+        if self._reliability.enabled and kind in RELIABLE_KINDS:
+            self.channel.send(dst, kind, payload, size_bytes=size)
+        else:
+            self.network.send(self.node_id, dst, kind, payload, size_bytes=size)
+
+    def _on_delivery_give_up(self, dst: int, kind: str) -> None:
+        """A reliable delivery exhausted its attempts: evidence of death."""
+        self.detector.note_missed(dst)
+
+    def suspects(self) -> frozenset[int] | set[int]:
+        """Nodes the failure detector currently believes dead."""
+        if self._reliability.enabled and self.detector.suspects:
+            return self.detector.suspects
+        return _NO_SUSPECTS
+
+    def _handle_ack(self, message: Message) -> None:
+        self.channel.handle_ack(message.payload)
+
+    def _handle_ping(self, message: Message) -> None:
+        ping: m.Ping = message.payload
+        self._send(
+            ping.prober_id,
+            "pong",
+            m.Pong(probe_id=ping.probe_id, responder_id=self.node_id),
+        )
+
+    def _handle_pong(self, message: Message) -> None:
+        self.detector.handle_pong(message.payload)
+
+    def heartbeat_once(self) -> None:
+        """One failure-detector round: ping a few known contacts.
+
+        Round-driven (see ``P2PSystem.run_failure_detector_rounds``)
+        rather than self-scheduling, so run-to-quiescence callers still
+        drain.  Targets are drawn from the same pool gossip uses: cluster
+        neighbours first, NRT contacts as the fallback.
+        """
+        partners: set[int] = set()
+        for neighbors in self.cluster_neighbors.values():
+            partners |= neighbors
+        if not partners:
+            for cluster_id in self.nrt.clusters():
+                partners.update(self.nrt.nodes_in(cluster_id))
+        partners.discard(self.node_id)
+        if not partners:
+            return
+        pool = sorted(partners)
+        fanout = min(self._reliability.probe_fanout, len(pool))
+        for index in self.rng.permutation(len(pool))[:fanout]:
+            self.detector.probe(pool[int(index)])
 
     # ------------------------------------------------------------------
     # storage
@@ -286,6 +407,18 @@ class Peer:
     def dcrt_items(self) -> list[tuple[int, DCRTEntry]]:
         """Sorted ``(category_id, entry)`` pairs of the local DCRT."""
         return self.dcrt.items()
+
+    def reliable_application_counts(self) -> dict[tuple[int, int], int]:
+        """Copy of the (src, delivery_id) -> handler-run counts window.
+
+        Exactly-once effects under at-least-once delivery means every
+        count is 1; the chaos invariant checker asserts exactly that.
+        """
+        return dict(self._applied_counts)
+
+    def seen_query_count(self) -> int:
+        """Current size of the bounded loop-detection window."""
+        return len(self._seen_queries)
 
     def transfer_backlog(self) -> dict[int, int]:
         """Category -> number of queries parked on a pending transfer.
@@ -346,18 +479,19 @@ class Peer:
                 query=query_id,
                 category=category_id,
             )
+        if self._reliability.enabled:
+            state = _QueryAttempt(
+                query_id=query_id,
+                category_id=category_id,
+                m_results=m_results,
+                target_doc_id=target_doc_id,
+            )
+            self._query_attempts[query_id] = state
+            self._try_query(state)
+            return
         target = self.nrt.random_node(cluster_id, self.rng)
         if target is None:
-            _C_QUERIES_FAILED.value += 1
-            if _TRACE.enabled:
-                _TRACE.emit(
-                    "query_fail",
-                    t=self.network.sim.now,
-                    node=self.node_id,
-                    query=query_id,
-                    reason="no-known-member",
-                )
-            self.hooks.on_query_failed(self, query_id, "no-known-member")
+            self._fail_query(query_id, "no-known-member")
             return
         message = m.QueryMessage(
             query_id=query_id,
@@ -370,12 +504,87 @@ class Peer:
         )
         self._send(target, "query", message)
 
+    def _fail_query(self, query_id: int, reason: str) -> None:
+        _C_QUERIES_FAILED.value += 1
+        if _TRACE.enabled:
+            _TRACE.emit(
+                "query_fail",
+                t=self.network.sim.now,
+                node=self.node_id,
+                query=query_id,
+                reason=reason,
+            )
+        self.hooks.on_query_failed(self, query_id, reason)
+
+    def _try_query(self, state: _QueryAttempt) -> None:
+        """One failover dispatch attempt, with an end-to-end deadline.
+
+        The target cluster is re-read from the DCRT each attempt (the
+        category may have moved between attempts).  Targets exclude both
+        already-tried nodes and the failure detector's suspects; if that
+        empties the candidate set, the exclusions are relaxed in order —
+        wrong suspicion must not fail a query a plain retry could save.
+        """
+        cluster_id = self.dcrt.cluster_of(state.category_id)
+        suspects = self.suspects()
+        avoid = state.tried | suspects if suspects else state.tried
+        target = self.nrt.random_node(cluster_id, self.rng, exclude=avoid)
+        if target is None and state.tried:
+            target = self.nrt.random_node(cluster_id, self.rng, exclude=suspects)
+        if target is None and suspects:
+            target = self.nrt.random_node(cluster_id, self.rng)
+        if target is None:
+            self._query_attempts.pop(state.query_id, None)
+            self._fail_query(state.query_id, "no-known-member")
+            return
+        state.tried.add(target)
+        state.attempts += 1
+        self._send(
+            target,
+            "query",
+            m.QueryMessage(
+                query_id=state.query_id,
+                requester_id=self.node_id,
+                category_id=state.category_id,
+                remaining=state.m_results,
+                hops=1,
+                target_cluster=cluster_id,
+                target_doc_id=state.target_doc_id,
+            ),
+        )
+
+        def on_deadline() -> None:
+            current = self._query_attempts.get(state.query_id)
+            if current is not state or state.settled:
+                return  # answered, failed, or superseded
+            if state.attempts >= self._reliability.query_attempts:
+                self._query_attempts.pop(state.query_id, None)
+                self._fail_query(state.query_id, "deadline-exhausted")
+                return
+            _C_QUERY_FAILOVERS.value += 1
+            if _TRACE.enabled:
+                _TRACE.emit(
+                    "query_failover",
+                    t=self.network.sim.now,
+                    node=self.node_id,
+                    query=state.query_id,
+                    attempt=state.attempts,
+                )
+            self._try_query(state)
+
+        self.network.sim.schedule(self._reliability.query_deadline, on_deadline)
+
     def _handle_query(self, message: Message) -> None:
         """Step 2, at a target node: serve, redirect, or forward."""
         query: m.QueryMessage = message.payload
         if query.query_id in self._seen_queries:
+            self._seen_queries.move_to_end(query.query_id)
             return  # loop broken via idQ (Section 3.3, step 2b)
-        self._seen_queries.add(query.query_id)
+        self._seen_queries[query.query_id] = None
+        _G_SEEN_QUERIES.value += 1
+        while len(self._seen_queries) > self.config.seen_query_capacity:
+            self._seen_queries.popitem(last=False)
+            _G_SEEN_QUERIES.value -= 1
 
         entry = self.dcrt.entry(query.category_id)
         serving_cluster = entry.cluster_id
@@ -385,7 +594,9 @@ class Peer:
             # local DCRT names (lazy-rebalancing step 3).  The requester's
             # original believed cluster stays in the message so the serving
             # node can piggyback the metadata correction (step 4).
-            target = self.nrt.random_node(serving_cluster, self.rng)
+            target = self.nrt.random_node(
+                serving_cluster, self.rng, exclude=self.suspects()
+            )
             if target is not None:
                 _C_QUERIES_FORWARDED.value += 1
                 self._send(
@@ -534,6 +745,9 @@ class Peer:
 
     def _handle_query_response(self, message: Message) -> None:
         response: m.QueryResponse = message.payload
+        state = self._query_attempts.pop(response.query_id, None)
+        if state is not None:
+            state.settled = True  # disarms any in-flight failover deadline
         for category_id, entry in response.dcrt_updates:
             self.dcrt.merge(category_id, entry)
         if self.config.cache_capacity > 0:
@@ -748,12 +962,23 @@ class Peer:
             known[node_id] = capacity
 
     def elect_leaders(self, alive: set[int] | None = None) -> None:
-        """Apply the election rule to each cluster's known capabilities."""
+        """Apply the election rule to each cluster's known capabilities.
+
+        The failure detector's suspects are struck from the eligible set
+        (a dead leader costs a whole adaptation round); if suspicion
+        would leave nobody eligible, it is ignored — a wrong suspect list
+        must never block the election entirely.
+        """
+        suspects = self.suspects()
         for cluster_id in self.memberships:
-            winner = elect_leader(
-                self.known_capabilities.get(cluster_id, {self.node_id: self.capacity_units}),
-                alive=alive,
+            capabilities = self.known_capabilities.get(
+                cluster_id, {self.node_id: self.capacity_units}
             )
+            eligible = alive
+            if suspects:
+                pool = set(alive) if alive is not None else set(capabilities)
+                eligible = (pool - suspects) or pool
+            winner = elect_leader(capabilities, alive=eligible)
             if winner is not None:
                 self.believed_leader[cluster_id] = winner
 
@@ -782,6 +1007,10 @@ class Peer:
             if probe_key not in self._pending_probes:
                 return  # the leader answered in time
             self._pending_probes.discard(probe_key)
+            if self._reliability.enabled:
+                # Share the evidence: an unresponsive leader is suspect
+                # for every protocol, not just this probe.
+                self.detector.note_missed(leader_id)
             capabilities = dict(self.known_capabilities.get(cluster_id, {}))
             capabilities.pop(leader_id, None)
             replacement = elect_leader(capabilities)
@@ -836,7 +1065,10 @@ class Peer:
             leader_id=self.node_id,
             timeout_budget=budget * 0.7,
         )
+        suspects = self.suspects()
         for neighbor in self.cluster_neighbors.get(cluster_id, ()):
+            if neighbor in suspects:
+                continue  # routed around instead of timed out
             self._send(neighbor, "hit_count_request", request)
             state.pending_children += 1
         if state.pending_children == 0:
@@ -911,8 +1143,9 @@ class Peer:
             leader_id=request.leader_id,
             timeout_budget=request.timeout_budget * 0.7,
         )
+        suspects = self.suspects()
         for neighbor in self.cluster_neighbors.get(request.cluster_id, ()):
-            if neighbor == message.src:
+            if neighbor == message.src or neighbor in suspects:
                 continue
             self._send(neighbor, "hit_count_request", forwarded)
             state.pending_children += 1

@@ -36,6 +36,7 @@ from repro.overlay.adaptation import (
 )
 from repro.overlay.cluster import build_cluster_graph
 from repro.overlay.peer import DocInfo, Peer, PeerConfig, PeerHooks
+from repro.reliability import ReliabilityConfig
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
 from repro.sim.rng import RngRegistry
@@ -61,6 +62,9 @@ class P2PSystemConfig:
     #: document lookups through it (the hybrid reading).
     metadata_mode: str = "replicated"
     seed: int = 0
+    #: ack/retry channel, query failover, and failure-detector knobs;
+    #: pushed into every peer's config (off by default).
+    reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
     peer: PeerConfig = field(default_factory=PeerConfig)
 
     def __post_init__(self) -> None:
@@ -104,11 +108,18 @@ class _SystemHooks(PeerHooks):
                 )
         record.responders.add(response.responder_id)
         args["results"] += len(response.doc_ids)
+        # A response settles the query even if a failover deadline already
+        # declared it failed — a late answer is still an answer.
+        args["failed"] = False
 
     def on_query_failed(self, peer: Peer, query_id: int, reason: str) -> None:
         record = self.system._queries.get(query_id)
-        if record is not None:
-            record.outcome_args["failed"] = True
+        if record is None:
+            return
+        if record.outcome_args["first_response_at"] is not None:
+            # Failover raced a response that already arrived; not a failure.
+            return
+        record.outcome_args["failed"] = True
 
     def on_cluster_joined(self, peer: Peer, cluster_id: int) -> None:
         self.system._register_membership(peer, cluster_id)
@@ -234,7 +245,12 @@ class P2PSystem:
             self.config.peer,
             nrt_capacity=self.config.nrt_capacity,
             cache_capacity=self.config.cache_capacity,
+            reliability=self.config.reliability,
         )
+
+    def _jitter_rng(self):
+        """The named retry-jitter stream (never consulted without a retry)."""
+        return self.rngs.stream("reliability.jitter")
 
     def _bootstrap(self) -> None:
         instance, assignment = self.instance, self.assignment
@@ -243,6 +259,7 @@ class P2PSystem:
         peer_config = self._peer_config()
 
         # Create peers.
+        jitter_rng = self._jitter_rng()
         for node_id, node in sorted(instance.nodes.items()):
             peer = Peer(
                 node_id=node_id,
@@ -251,6 +268,7 @@ class P2PSystem:
                 rng=protocol_rng,
                 hooks=self.hooks,
                 config=peer_config,
+                jitter_rng=jitter_rng,
             )
             self._peers[node_id] = peer
 
@@ -581,6 +599,7 @@ class P2PSystem:
             rng=self.rngs.stream("protocol"),
             hooks=self.hooks,
             config=self._peer_config(),
+            jitter_rng=self._jitter_rng(),
         )
         self._peers[node_id] = peer
         self._departed.discard(node_id)
@@ -601,6 +620,19 @@ class P2PSystem:
         for _ in range(rounds):
             for peer in self.alive_peers():
                 peer.gossip_once()
+            self.sim.run()
+
+    def run_failure_detector_rounds(self, rounds: int = 1) -> None:
+        """Run heartbeat probing rounds across all live peers.
+
+        The failure detector is round-driven rather than self-scheduling
+        (a standing periodic event would keep the queue alive forever and
+        break every run-to-quiescence caller), so drivers invoke rounds
+        explicitly — mirroring :meth:`run_gossip_rounds`.
+        """
+        for _ in range(rounds):
+            for peer in self.alive_peers():
+                peer.heartbeat_once()
             self.sim.run()
 
     def run_adaptation(

@@ -1,0 +1,263 @@
+"""Ack/retry channel: at-least-once delivery, exactly-once effects.
+
+One :class:`ReliableChannel` lives inside each peer and plays both
+sides of the protocol:
+
+* **sender** — :meth:`send` tags the message with a fresh, per-sender
+  ``delivery_id`` and arms a per-attempt timeout; unacknowledged sends
+  are retransmitted with capped exponential backoff (plus seeded jitter
+  so synchronized retries do not stampede) up to ``max_attempts``.
+* **receiver** — :meth:`observe` acks every reliable message (including
+  duplicates, whose earlier ack may itself have been lost) and reports
+  whether the message was already applied, keyed on ``(src,
+  delivery_id)`` in a bounded LRU window, so retried publishes and
+  transfers never double-count documents or bytes.
+
+The jitter generator is only consulted when a retransmission actually
+fires: a loss-free run draws nothing from it, which keeps zero-loss
+experiment runs byte-identical whether or not the stream exists.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro import obs
+from repro.sim.network import Message, Network
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.overlay import messages as m
+
+__all__ = ["RELIABLE_KINDS", "ReliabilityConfig", "ReliableChannel"]
+
+#: bytes charged for an ack (mirrors ``messages.CONTROL_SIZE``; the
+#: overlay module is imported lazily to keep this package importable on
+#: its own — overlay.peer imports us, so a top-level import would cycle).
+_CONTROL_SIZE = 256
+
+#: Message kinds sent through the channel when reliability is enabled.
+#: Query requests are absent on purpose — the peer gives them end-to-end
+#: deadline failover against a *different* cluster member, which a
+#: same-destination retry cannot provide.  Acks, pings, and gossip are
+#: fire-and-forget by design (gossip is its own anti-entropy repair).
+RELIABLE_KINDS = frozenset(
+    {
+        "publish_request",
+        "publish_reply",
+        "join_request",
+        "join_reply",
+        "reassign_notice",
+        "transfer_request",
+        "transfer_data",
+        "query_response",
+    }
+)
+
+# Process-wide counters, cached at import time like the peer's.
+_C_SENDS = obs.counter("reliability.sends")
+_C_RETRIES = obs.counter("reliability.retries")
+_C_ACKED = obs.counter("reliability.acked")
+_C_GAVE_UP = obs.counter("reliability.gave_up")
+_C_DUPLICATES = obs.counter("reliability.duplicates_suppressed")
+
+
+@dataclass(frozen=True, slots=True)
+class ReliabilityConfig:
+    """Knobs for the channel, the query failover, and the detector."""
+
+    #: master switch; off keeps every protocol exactly as fire-and-forget
+    #: as before (no acks, no retries, no extra randomness).
+    enabled: bool = False
+
+    # --- ack/retry channel ---
+    #: simulated seconds to wait for an ack before retransmitting.
+    ack_timeout: float = 1.0
+    #: per-retry timeout multiplier (capped exponential backoff).
+    backoff_factor: float = 2.0
+    #: upper bound on any single attempt's timeout.
+    max_backoff: float = 8.0
+    #: total transmission attempts (first send + retries) before giving up.
+    max_attempts: int = 4
+    #: retry timeouts are stretched by up to this fraction, drawn from the
+    #: seeded jitter stream — only when a retry actually fires.
+    jitter_fraction: float = 0.25
+    #: receiver-side duplicate-suppression window, per peer.
+    dedup_capacity: int = 4096
+
+    # --- query failover ---
+    #: end-to-end deadline armed by ``start_query``; on expiry the query
+    #: is retried against a different NRT member of the target cluster.
+    query_deadline: float = 3.0
+    #: dispatch attempts per query before declaring failure.
+    query_attempts: int = 4
+
+    # --- heartbeat failure detector ---
+    #: simulated seconds to wait for a pong before counting a miss.
+    probe_timeout: float = 1.0
+    #: consecutive misses before a node becomes a suspect.
+    suspicion_threshold: int = 2
+    #: heartbeat targets probed per detector round.
+    probe_fanout: int = 3
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout <= 0:
+            raise ValueError(f"ack_timeout must be > 0, got {self.ack_timeout}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.query_attempts < 1:
+            raise ValueError(
+                f"query_attempts must be >= 1, got {self.query_attempts}"
+            )
+        if self.dedup_capacity < 1:
+            raise ValueError(
+                f"dedup_capacity must be >= 1, got {self.dedup_capacity}"
+            )
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError(
+                f"jitter_fraction must be in [0, 1), got {self.jitter_fraction}"
+            )
+
+
+@dataclass(slots=True)
+class _Outstanding:
+    """One logical send awaiting its ack."""
+
+    delivery_id: int
+    dst: int
+    kind: str
+    payload: Any
+    size_bytes: int
+    attempt: int = 0
+
+
+class ReliableChannel:
+    """Both halves of the ack/retry protocol for one peer.
+
+    ``on_give_up(dst, kind)`` is invoked when a delivery exhausts its
+    attempts — the peer feeds this into its failure detector, turning
+    persistent unresponsiveness into suspicion.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        network: Network,
+        config: ReliabilityConfig,
+        jitter_rng=None,
+        on_give_up: Callable[[int, str], None] | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.network = network
+        self.config = config
+        self.jitter_rng = jitter_rng
+        self.on_give_up = on_give_up
+        self._next_delivery_id = 0
+        self._outstanding: dict[int, _Outstanding] = {}
+        #: (src, delivery_id) -> None; LRU window of applied deliveries.
+        self._seen: OrderedDict[tuple[int, int], None] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # sender side
+    # ------------------------------------------------------------------
+    def outstanding(self) -> int:
+        """Number of sends still awaiting acknowledgement."""
+        return len(self._outstanding)
+
+    def send(
+        self, dst: int, kind: str, payload: Any, size_bytes: int = _CONTROL_SIZE
+    ) -> int:
+        """Reliably send; returns the delivery id."""
+        self._next_delivery_id += 1
+        out = _Outstanding(
+            delivery_id=self._next_delivery_id,
+            dst=dst,
+            kind=kind,
+            payload=payload,
+            size_bytes=size_bytes,
+        )
+        self._outstanding[out.delivery_id] = out
+        _C_SENDS.value += 1
+        self._transmit(out)
+        return out.delivery_id
+
+    def _attempt_timeout(self, attempt: int) -> float:
+        timeout = min(
+            self.config.ack_timeout * self.config.backoff_factor**attempt,
+            self.config.max_backoff,
+        )
+        if attempt > 0 and self.jitter_rng is not None and self.config.jitter_fraction:
+            # Jitter applies to retries only, so the stream is untouched
+            # on loss-free runs (byte-identical determinism).
+            timeout *= 1.0 + self.config.jitter_fraction * float(
+                self.jitter_rng.random()
+            )
+        return timeout
+
+    def _transmit(self, out: _Outstanding) -> None:
+        self.network.send(
+            self.node_id,
+            out.dst,
+            out.kind,
+            out.payload,
+            size_bytes=out.size_bytes,
+            delivery_id=out.delivery_id,
+            attempt=out.attempt,
+        )
+        armed_attempt = out.attempt
+
+        def on_timeout() -> None:
+            current = self._outstanding.get(out.delivery_id)
+            if current is None or current.attempt != armed_attempt:
+                return  # acked, or a later attempt owns the timer
+            if out.attempt + 1 >= self.config.max_attempts:
+                self._outstanding.pop(out.delivery_id, None)
+                _C_GAVE_UP.value += 1
+                if self.on_give_up is not None:
+                    self.on_give_up(out.dst, out.kind)
+                return
+            out.attempt += 1
+            _C_RETRIES.value += 1
+            self._transmit(out)
+
+        self.network.sim.schedule(self._attempt_timeout(armed_attempt), on_timeout)
+
+    def handle_ack(self, ack: "m.Ack") -> None:
+        """Settle the acked delivery (idempotent: late acks are no-ops)."""
+        if self._outstanding.pop(ack.delivery_id, None) is not None:
+            _C_ACKED.value += 1
+
+    # ------------------------------------------------------------------
+    # receiver side
+    # ------------------------------------------------------------------
+    def observe(self, message: Message) -> bool:
+        """Ack a reliable message; True when it is a suppressed duplicate.
+
+        Duplicates are re-acked (the original ack may have been the lost
+        message) but must not reach the protocol handler again.
+        """
+        if message.delivery_id < 0:
+            return False
+        from repro.overlay.messages import Ack
+
+        self.network.send(
+            self.node_id,
+            message.src,
+            "ack",
+            Ack(delivery_id=message.delivery_id, receiver_id=self.node_id),
+            size_bytes=_CONTROL_SIZE,
+        )
+        key = (message.src, message.delivery_id)
+        if key in self._seen:
+            self._seen.move_to_end(key)
+            _C_DUPLICATES.value += 1
+            return True
+        self._seen[key] = None
+        while len(self._seen) > self.config.dedup_capacity:
+            self._seen.popitem(last=False)
+        return False

@@ -36,6 +36,13 @@ class Message:
     ``payload`` is an arbitrary protocol object (the overlay uses the
     dataclasses in :mod:`repro.overlay.messages`); ``kind`` is a short
     string used for traffic breakdowns.
+
+    ``msg_id`` is a network-assigned per-attempt id (unique per
+    :meth:`Network.send` call).  ``delivery_id`` / ``attempt`` carry
+    reliable-delivery metadata for senders using an ack/retry channel:
+    ``delivery_id`` is stable across retransmissions of the same logical
+    send (so receivers can suppress duplicates) while ``attempt`` counts
+    retransmissions.  Fire-and-forget sends leave ``delivery_id`` at -1.
     """
 
     src: int
@@ -44,6 +51,14 @@ class Message:
     payload: Any
     size_bytes: int = 256
     sent_at: float = 0.0
+    msg_id: int = 0
+    delivery_id: int = -1
+    attempt: int = 0
+
+    @property
+    def reliable(self) -> bool:
+        """True when the sender expects an acknowledgement."""
+        return self.delivery_id >= 0
 
 
 @dataclass(slots=True)
@@ -132,6 +147,10 @@ class Network:
         self._trace = obs.TRACE
         self._handlers: dict[int, Callable[[Message], None]] = {}
         self._crashed: set[int] = set()
+        self._next_msg_id = 0
+        #: message kind -> drop-probability override (chaos `ack-loss`
+        #: style targeted faults).  Absent kinds use ``drop_probability``.
+        self._kind_drop: dict[str, float] = {}
         #: node id -> partition label; nodes in different partitions cannot
         #: communicate.  Unlabelled nodes share the default partition.
         self._partition: dict[int, int] = {}
@@ -211,6 +230,26 @@ class Network:
             raise ValueError("drop_probability > 0 requires an rng")
         self.drop_probability = probability
 
+    def set_kind_drop_probability(self, kind: str, probability: float) -> None:
+        """Override the drop probability for one message ``kind``.
+
+        Used by the chaos harness to target protocol paths — e.g. dropping
+        only ``ack`` messages forces retransmission storms without touching
+        the rest of the traffic.  The override fully replaces the global
+        probability for that kind (0.0 pins a kind lossless).
+        """
+        if not 0.0 <= probability < 1.0:
+            raise ValueError(
+                f"drop_probability must be in [0, 1), got {probability}"
+            )
+        if probability > 0.0 and self.rng is None:
+            raise ValueError("drop_probability > 0 requires an rng")
+        self._kind_drop[kind] = probability
+
+    def clear_kind_drop_probabilities(self) -> None:
+        """Remove all per-kind overrides (part of a chaos ``heal``)."""
+        self._kind_drop.clear()
+
     def schedule_partition(self, delay: float, groups) -> None:
         """Schedule a partitioning: each group of node ids gets its own label.
 
@@ -269,14 +308,18 @@ class Network:
         kind: str,
         payload: Any,
         size_bytes: int = 256,
+        delivery_id: int = -1,
+        attempt: int = 0,
     ) -> Message:
         """Send a message; delivery is scheduled on the simulator.
 
         Messages to dead/partitioned destinations, or unlucky under the
         drop probability, are counted as dropped and never delivered — the
-        sender gets no error (UDP-like semantics; protocols needing
-        reliability implement their own acknowledgements).
+        sender gets no error (UDP-like semantics; senders needing
+        reliability layer an ack/retry channel on top, tagging retries
+        with a stable ``delivery_id`` — see :mod:`repro.reliability`).
         """
+        self._next_msg_id += 1
         message = Message(
             src=src,
             dst=dst,
@@ -284,6 +327,9 @@ class Network:
             payload=payload,
             size_bytes=size_bytes,
             sent_at=self.sim.now,
+            msg_id=self._next_msg_id,
+            delivery_id=delivery_id,
+            attempt=attempt,
         )
         self.stats.record_sent(message)
         self._c_sent.value += 1
@@ -308,11 +354,10 @@ class Network:
             reason = "src-crashed"
         elif not self._same_partition(src, dst):
             reason = "partitioned"
-        elif (
-            self.drop_probability > 0.0
-            and self.rng.random() < self.drop_probability
-        ):
-            reason = "random-loss"
+        else:
+            loss = self._kind_drop.get(kind, self.drop_probability)
+            if loss > 0.0 and self.rng.random() < loss:
+                reason = "random-loss"
         if reason is not None:
             self._drop(message, reason)
             return message

@@ -117,6 +117,58 @@ class TestInvariantDetection:
         assert "move-counter-monotonic" in checker.violated_invariants
 
 
+class TestReliabilityActions:
+    def test_ack_loss_and_retry_storm_keep_exactly_once(self, chaos_config):
+        """Dropped acks and dropped requests force retransmission chains;
+        retried publishes/transfers must never double-apply (the
+        exactly-once-effects invariant runs at every quiescent step)."""
+        from repro import obs
+
+        entries = (
+            ScheduleEntry(0, "ack_loss", {"probability": 0.45}),
+            ScheduleEntry(1, "publish", {"rank": 3, "category": 1, "n_docs": 3}),
+            ScheduleEntry(2, "query_burst", {"n": 10, "workload_seed": 11}),
+            ScheduleEntry(3, "retry_storm", {"probability": 0.3}),
+            ScheduleEntry(4, "publish", {"rank": 5, "category": 2, "n_docs": 2}),
+            ScheduleEntry(5, "force_move", {"category": 1, "target_rank": 1}),
+            ScheduleEntry(6, "heal", {}),
+            ScheduleEntry(7, "gossip", {"rounds": 4}),
+            ScheduleEntry(8, "converge", {}),
+        )
+        duplicates = obs.counter("reliability.duplicates_suppressed")
+        before = duplicates.value
+        report = run_schedule(Schedule(seed=9, entries=entries),
+                              config=chaos_config)
+        assert report.ok, report.summary()
+        # The scenario actually exercised the dedup path.
+        assert duplicates.value > before
+
+    def test_heal_clears_kind_drop_overrides(self, chaos_config):
+        from repro.chaos.harness import ChaosRunner
+
+        schedule = Schedule(
+            seed=3,
+            entries=(
+                ScheduleEntry(0, "ack_loss", {"probability": 0.3}),
+                ScheduleEntry(1, "retry_storm", {"probability": 0.4}),
+                ScheduleEntry(2, "heal", {}),
+            ),
+        )
+        runner = ChaosRunner(schedule, chaos_config)
+        runner.run()
+        assert runner.system.network._kind_drop == {}
+
+    def test_reliability_off_config_builds_unreliable_world(self, chaos_config):
+        from dataclasses import replace
+
+        from repro.chaos.harness import ChaosRunner
+
+        config = replace(chaos_config, reliability=False)
+        runner = ChaosRunner(generate_schedule(1, config), config)
+        peer = runner.system.alive_peers()[0]
+        assert not peer.config.reliability.enabled
+
+
 @pytest.fixture()
 def buggy_merge():
     """Inject a last-writer-wins DCRT merge (drops the move-counter
@@ -136,7 +188,11 @@ def buggy_merge():
 
 class TestInjectedRegressionIsCaughtAndShrunk:
     # A longer horizon than the shared fixture: the stale-gossip rollback
-    # needs a reassignment, a partition, and a heal to line up.
+    # needs a reassignment, a partition, and a heal to line up.  Seed 12
+    # is a known trigger under the current action-weight table (adding or
+    # reweighting actions reshuffles every schedule; rescan if it stops
+    # firing).
+    SEED = 12
     CONFIG = ScenarioConfig(
         n_docs=300,
         n_nodes=40,
@@ -148,7 +204,7 @@ class TestInjectedRegressionIsCaughtAndShrunk:
     )
 
     def test_fuzz_catches_and_shrinks_the_bug(self, buggy_merge):
-        schedule = generate_schedule(5, self.CONFIG)
+        schedule = generate_schedule(self.SEED, self.CONFIG)
         report = run_schedule(schedule, config=self.CONFIG)
         assert not report.ok
         assert report.violated_invariants == {"move-counter-monotonic"}
@@ -165,7 +221,7 @@ class TestInjectedRegressionIsCaughtAndShrunk:
     def test_clean_tree_passes_the_same_schedule(self):
         """The same seed is clean without the injected bug, proving the
         violation comes from the defect, not the scenario."""
-        report = run_schedule(generate_schedule(5, self.CONFIG),
+        report = run_schedule(generate_schedule(self.SEED, self.CONFIG),
                               config=self.CONFIG)
         assert report.ok, report.summary()
 
@@ -175,7 +231,10 @@ class TestEmittedReproducer:
         """The emitted test body must be runnable as-is: exec it and call
         the generated function, expecting the assertion to fire while the
         bug is still injected."""
-        schedule = generate_schedule(5, TestInjectedRegressionIsCaughtAndShrunk.CONFIG)
+        schedule = generate_schedule(
+            TestInjectedRegressionIsCaughtAndShrunk.SEED,
+            TestInjectedRegressionIsCaughtAndShrunk.CONFIG,
+        )
         small, report = shrink(
             schedule,
             config=TestInjectedRegressionIsCaughtAndShrunk.CONFIG,

@@ -254,3 +254,75 @@ class TestTracing:
         assert drop.fields["reason"] == "dst-dead"
         assert drop.fields["msg"] == "query"
         obs.TRACE.clear()
+
+class TestEdgeCases:
+    def test_unregister_mid_flight_drops_at_delivery(self):
+        """A destination that *leaves* (unregisters) while a message is in
+        flight loses it at delivery time, same as a crash would."""
+        sim, network = _make(base_latency=1.0, bandwidth=None)
+        received = []
+        network.register(1, lambda msg: received.append(msg))
+        network.send(0, 1, "ping", None)
+        sim.schedule(0.5, lambda: network.unregister(1))
+        sim.run()
+        assert received == []
+        assert network.stats.drops_by_reason == {"dst-dead-at-delivery": 1}
+
+    def test_loss_ramp_single_step_zero_duration(self):
+        """steps=1 with duration=0 is an immediate cliff, not an error."""
+        rng = np.random.default_rng(0)
+        sim, network = _make(drop=0.4, rng=rng)
+        network.schedule_loss_ramp(0.0, duration=0.0, steps=1)
+        sim.run()
+        assert network.drop_probability == 0.0
+        # And upward too: lands exactly on the target in one step.
+        network.schedule_loss_ramp(0.25, duration=0.0, steps=1)
+        sim.run()
+        assert network.drop_probability == pytest.approx(0.25)
+
+    def test_loss_ramp_rejects_bad_arguments(self):
+        rng = np.random.default_rng(0)
+        _, network = _make(rng=rng)
+        with pytest.raises(ValueError):
+            network.schedule_loss_ramp(0.2, duration=0.5, steps=0)
+        with pytest.raises(ValueError):
+            network.schedule_loss_ramp(0.2, duration=-1.0, steps=2)
+
+    def test_kind_drop_override_targets_one_kind(self):
+        rng = np.random.default_rng(1)
+        sim, network = _make(rng=rng)
+        received = {"ack": 0, "data": 0}
+        network.register(1, lambda msg: received.__setitem__(
+            msg.kind, received[msg.kind] + 1
+        ))
+        network.set_kind_drop_probability("ack", 0.9)
+        for _ in range(40):
+            network.send(0, 1, "ack", None)
+            network.send(0, 1, "data", None)
+        sim.run()
+        assert received["ack"] < 40  # acks suffer the override...
+        assert received["data"] == 40  # ...other kinds keep the default
+        assert set(network.stats.drops_by_reason) == {"random-loss"}
+
+    def test_kind_drop_override_can_shield_a_kind(self):
+        rng = np.random.default_rng(2)
+        sim, network = _make(drop=0.9, rng=rng)
+        received = []
+        network.register(1, lambda msg: received.append(msg.kind))
+        network.set_kind_drop_probability("ack", 0.0)
+        for _ in range(40):
+            network.send(0, 1, "ack", None)
+        sim.run()
+        assert len(received) == 40  # the override shields acks entirely
+
+    def test_kind_drop_validation_and_clear(self):
+        rng = np.random.default_rng(0)
+        _, network = _make(rng=rng)
+        with pytest.raises(ValueError):
+            network.set_kind_drop_probability("ack", 1.0)
+        _, bare = _make()  # no rng
+        with pytest.raises(ValueError):
+            bare.set_kind_drop_probability("ack", 0.5)
+        network.set_kind_drop_probability("ack", 0.5)
+        network.clear_kind_drop_probabilities()
+        assert network._kind_drop == {}
