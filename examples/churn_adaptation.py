@@ -17,36 +17,28 @@ machinery does about it:
 Run:  python examples/churn_adaptation.py
 """
 
-from repro.core.maxfair import maxfair
-from repro.core.popularity import build_category_stats
-from repro.core.replication import plan_replication
+from repro import api
 from repro.metrics.report import format_table
 from repro.metrics.response import summarize_responses
-from repro.model.workload import (
-    add_hot_documents,
-    make_query_workload,
-    zipf_category_scenario,
-)
+from repro.model.workload import add_hot_documents
 from repro.overlay.adaptation import AdaptationConfig
 from repro.overlay.epidemic import dcrt_convergence
 from repro.overlay.peer import DocInfo
-from repro.overlay.system import P2PSystem
 
 MB = 1024 * 1024
 
 
 def main() -> None:
-    instance = zipf_category_scenario(scale=0.05, seed=5)
-    stats = build_category_stats(instance)
-    assignment = maxfair(instance, stats=stats)
-    plan = plan_replication(instance, assignment, n_reps=2, hot_mass=0.35)
-    system = P2PSystem(instance, assignment, plan=plan)
+    system = api.build_system(scale=0.05, seed=5, n_reps=2, hot_mass=0.35)
+    instance = system.instance
     config = AdaptationConfig(low_threshold=0.90, high_threshold=0.92)
     rows = []
 
     def observe(label: str, round_id: int, seed: int) -> None:
         system.reset_hit_counters()
-        outcomes = system.run_workload(make_query_workload(instance, 4000, seed=seed))
+        outcomes = system.run_workload(
+            api.make_query_workload(instance, 4000, seed=seed)
+        )
         response = summarize_responses(outcomes)
         outcome = system.run_adaptation(round_id=round_id, config=config)
         moves = len(outcome.moved_categories)

@@ -16,15 +16,10 @@ Run:  python examples/digital_library.py
 
 import numpy as np
 
-from repro.core.maxfair import maxfair
-from repro.core.popularity import build_category_stats
-from repro.core.replication import plan_replication
+from repro import api
 from repro.metrics.report import format_kv, format_table
 from repro.metrics.response import summarize_responses
-from repro.model.system import SystemConfig, build_system
-from repro.model.workload import make_query_workload
 from repro.model.zipf import estimate_theta
-from repro.overlay.system import P2PSystem
 
 SUBJECTS = [
     "Databases", "Networks", "Algorithms", "OS", "AI",
@@ -34,7 +29,7 @@ SUBJECTS = [
 
 def main() -> None:
     # Books often span subjects: 40% of books carry 2-3 categories.
-    config = SystemConfig(
+    config = api.SystemConfig(
         n_docs=6000,
         n_nodes=600,
         n_categories=30,
@@ -45,7 +40,10 @@ def main() -> None:
         doc_size_bytes=2 * 1024 * 1024,  # scanned book ~2 MB
         seed=17,
     )
-    library = build_system(config)
+    # The facade runs the whole pipeline: instance, statistics, MaxFair,
+    # replication plan, live overlay.
+    system = api.build_system(config, n_reps=2, hot_mass=0.35)
+    library, assignment = system.instance, system.assignment
     for category in library.categories:
         category.name = SUBJECTS[category.category_id % len(SUBJECTS)]
     multi = sum(1 for d in library.documents.values() if len(d.categories) > 1)
@@ -55,13 +53,8 @@ def main() -> None:
         f"{len(library.categories)} subjects"
     )
 
-    stats = build_category_stats(library)
-    assignment = maxfair(library, stats=stats)
-    plan = plan_replication(library, assignment, n_reps=2, hot_mass=0.35)
-    system = P2PSystem(library, assignment, plan=plan)
-
     # Category-level queries: "give me m books on this subject".
-    workload = make_query_workload(library, 5000, seed=19, m=5)
+    workload = api.make_query_workload(library, 5000, seed=19, m=5)
     outcomes = system.run_workload(workload, doc_targeted=False)
     response = summarize_responses(outcomes)
     print("\n5,000 subject queries (m = 5 results each):")
@@ -71,7 +64,7 @@ def main() -> None:
 
     # Recover the checkout skew from the observed per-book traffic.
     system.reset_hit_counters()
-    doc_workload = make_query_workload(library, 20_000, seed=23)
+    doc_workload = api.make_query_workload(library, 20_000, seed=23)
     system.run_workload(doc_workload)
     counts = doc_workload.doc_hit_counts(
         max(library.documents) + 1

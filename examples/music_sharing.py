@@ -15,14 +15,10 @@ music-chart popularities, genre categories like the "Heavy Metal" /
 Run:  python examples/music_sharing.py
 """
 
-from repro.core.maxfair import maxfair
-from repro.core.popularity import build_category_stats
-from repro.core.replication import plan_replication
+from repro import api
 from repro.metrics.load import load_report
 from repro.metrics.report import format_kv
 from repro.metrics.response import summarize_responses
-from repro.model.workload import make_query_workload, zipf_category_scenario
-from repro.overlay.system import P2PSystem
 
 MB = 1024 * 1024
 
@@ -33,8 +29,11 @@ GENRES = [
 
 
 def main() -> None:
-    # 1. the community: 10k songs, 1k peers, genre categories.
-    instance = zipf_category_scenario(scale=0.05, seed=11)
+    # 1.-3. one facade call: the community (10k songs, 1k peers, genre
+    # categories), the MaxFair placement, the Section 4.3.3 replication
+    # plan, and the live overlay on top.
+    system = api.build_system(scale=0.05, seed=11, n_reps=2, hot_mass=0.35)
+    instance, assignment, plan = system.instance, system.assignment, system.plan
     for category in instance.categories:
         category.name = GENRES[category.category_id % len(GENRES)]
     print(
@@ -45,8 +44,6 @@ def main() -> None:
     )
 
     # 2. inter-cluster balancing.
-    stats = build_category_stats(instance)
-    assignment = maxfair(instance, stats=stats)
     print("\nGenre placement (genre -> cluster):")
     for category in instance.categories[:8]:
         cluster = assignment.cluster_of(category.category_id)
@@ -56,7 +53,6 @@ def main() -> None:
         )
 
     # 3. replication: chart-toppers (35% of the listening mass) everywhere.
-    plan = plan_replication(instance, assignment, n_reps=2, hot_mass=0.35)
     print(
         f"\nReplication: {len(plan.hot_doc_ids)} chart-toppers "
         f"({len(plan.hot_doc_ids) / len(instance.documents):.1%} of songs) "
@@ -72,8 +68,7 @@ def main() -> None:
     )
 
     # 4. a simulated afternoon of requests.
-    system = P2PSystem(instance, assignment, plan=plan)
-    workload = make_query_workload(instance, 8000, seed=13)
+    workload = api.make_query_workload(instance, 8000, seed=13)
     outcomes = system.run_workload(workload)
     response = summarize_responses(outcomes)
     print("\nServing 8,000 requests:")

@@ -21,33 +21,30 @@ Run:  python examples/pure_p2p_search.py
 
 import numpy as np
 
-from repro.core.maxfair import maxfair
+from repro import api
 from repro.core.popularity import cluster_members
-from repro.core.replication import plan_replication
 from repro.metrics.report import format_table
 from repro.metrics.response import summarize_responses
-from repro.model.workload import make_query_workload, zipf_category_scenario
 from repro.overlay.cluster import build_cluster_graph
 from repro.overlay.routing_indices import RoutingIndexOverlay
-from repro.overlay.system import P2PSystem, P2PSystemConfig
 
 
 def main() -> None:
-    instance = zipf_category_scenario(scale=0.02, seed=61)
-    assignment = maxfair(instance)
     # Sparse placement (one replica, no hot set) so search actually has to
     # look: with the paper's hot replication most lookups are trivial.
-    plan = plan_replication(instance, assignment, n_reps=1, hot_mass=0.0)
-    workload = make_query_workload(instance, 3000, seed=62)
+    instance, assignment, plan = api.build_world(
+        scale=0.02, seed=61, n_reps=1, hot_mass=0.0
+    )
+    workload = api.make_query_workload(instance, 3000, seed=62)
     rows = []
 
     # --- metadata modes over the live overlay -------------------------
     for mode in ("replicated", "super_peer"):
-        system = P2PSystem(
+        system = api.P2PSystem(
             instance,
             assignment,
             plan=plan,
-            config=P2PSystemConfig(metadata_mode=mode, seed=1),
+            config=api.P2PSystemConfig(metadata_mode=mode, seed=1),
         )
         outcomes = system.run_workload(workload)
         stats = summarize_responses(outcomes)

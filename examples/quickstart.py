@@ -8,20 +8,17 @@ other P2P systems (hash placement, random, round-robin).
 Run:  python examples/quickstart.py
 """
 
+from repro import api
 from repro.core.baselines import ASSIGNMENT_STRATEGIES, assign_with_strategy
 from repro.core.fairness import gini, jain_fairness
-from repro.core.maxfair import maxfair
 from repro.core.popularity import build_category_stats, normalized_cluster_popularities
 from repro.metrics.report import format_table
-from repro.model.workload import zipf_category_scenario
 
 
 def main() -> None:
     print("Building system: 20,000 docs / 2,000 nodes / 50 categories / 10 clusters")
-    instance = zipf_category_scenario(scale=0.1, seed=7)
+    instance, assignment, _plan = api.build_world(scale=0.1, seed=7)
     stats = build_category_stats(instance)
-
-    assignment = maxfair(instance, stats=stats)
     values = normalized_cluster_popularities(
         instance, assignment.category_to_cluster, stats=stats
     )

@@ -1,0 +1,27 @@
+"""Benchmark subsystem: tracked, regression-gated performance artifacts.
+
+``python -m repro.bench`` runs the micro suite (engine event churn,
+network send/deliver, Zipf sampling) and the macro suite (figure2
+end-to-end, scaling sweep, chaos fuzzing, loss experiment), writing
+``BENCH_core.json`` at the repo root.  ``--compare`` diffs a fresh run
+against a committed report and fails on slowdowns beyond a percent
+threshold — see :mod:`repro.bench.cli`.
+"""
+
+from repro.bench.core import (
+    BenchResult,
+    BenchSpec,
+    Regression,
+    compare_results,
+    run_spec,
+    run_specs,
+)
+
+__all__ = [
+    "BenchResult",
+    "BenchSpec",
+    "Regression",
+    "compare_results",
+    "run_spec",
+    "run_specs",
+]

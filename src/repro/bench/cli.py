@@ -1,0 +1,175 @@
+"""``python -m repro.bench`` — run the benchmark suites, track regressions.
+
+Writes ``BENCH_core.json`` (schema ``repro.bench/v1``) at the chosen
+``--out`` path:
+
+.. code-block:: json
+
+    {
+      "schema": "repro.bench/v1",
+      "suite": "all",
+      "size": 1.0,
+      "scale": {"algo": 0.25, "des": 0.05},
+      "results": [ {"name": ..., "kind": ..., "unit": ...,
+                    "repeats": ..., "warmup": ...,
+                    "best_s": ..., "median_s": ..., "mean_s": ...,
+                    "stddev_s": ..., "extra": {...}}, ... ]
+    }
+
+``--compare BASELINE.json`` checks the freshly-measured medians against a
+committed report and exits 1 when any shared benchmark slowed down by more
+than ``--max-regress`` percent — the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench import macro, micro
+from repro.bench.core import SCHEMA, BenchResult, compare_results, run_specs
+from repro.experiments.common import default_scale, des_scale
+
+__all__ = ["main", "collect_specs", "write_report"]
+
+DEFAULT_OUT = "BENCH_core.json"
+
+
+def collect_specs(suite: str, size: float = 1.0, names=None):
+    """Resolve ``--suite``/``--only`` into an ordered spec list."""
+    if suite == "micro":
+        specs = micro.specs(size=size)
+    elif suite == "macro":
+        specs = macro.specs()
+    elif suite == "all":
+        specs = micro.specs(size=size) + macro.specs()
+    else:
+        raise ValueError(f"unknown suite: {suite!r}")
+    if names:
+        wanted = set(names)
+        unknown = wanted - {spec.name for spec in specs}
+        if unknown:
+            raise ValueError(
+                f"unknown benchmark name(s): {', '.join(sorted(unknown))}"
+            )
+        specs = [spec for spec in specs if spec.name in wanted]
+    return specs
+
+
+def write_report(
+    path: Path, results: list[BenchResult], suite: str, size: float
+) -> None:
+    report = {
+        "schema": SCHEMA,
+        "suite": suite,
+        "size": size,
+        "scale": {"algo": default_scale(), "des": des_scale()},
+        "results": [result.to_dict() for result in results],
+    }
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the repro benchmark suites and write BENCH_core.json.",
+    )
+    parser.add_argument(
+        "--suite",
+        choices=("micro", "macro", "all"),
+        default="all",
+        help="which suite to run (default: all)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        metavar="NAME",
+        help="restrict to specific benchmark names within the suite",
+    )
+    parser.add_argument(
+        "--size",
+        type=float,
+        default=1.0,
+        help="work-size multiplier for the micro suite (default: 1.0)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, help="override per-spec repeat counts"
+    )
+    parser.add_argument(
+        "--warmup", type=int, help="override per-spec warmup counts"
+    )
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_OUT,
+        help=f"report path (default: {DEFAULT_OUT}; '-' to skip writing)",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        help="baseline BENCH_*.json to diff medians against",
+    )
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=25.0,
+        help="allowed median slowdown in percent before failing (default: 25)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list benchmark names and exit"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        specs = collect_specs(args.suite, size=args.size, names=args.only)
+    except ValueError as error:
+        parser.error(str(error))
+
+    if args.list:
+        for spec in specs:
+            print(f"{spec.kind:5s} {spec.name:24s} {spec.description}")
+        return 0
+
+    baseline = None
+    if args.compare:
+        baseline_path = Path(args.compare)
+        if not baseline_path.is_file():
+            parser.error(f"--compare baseline not found: {baseline_path}")
+        baseline = json.loads(baseline_path.read_text())
+        if baseline.get("schema") != SCHEMA:
+            parser.error(
+                f"--compare baseline has schema "
+                f"{baseline.get('schema')!r}, expected {SCHEMA!r}"
+            )
+
+    results = run_specs(
+        specs, repeats=args.repeats, warmup=args.warmup, log=print
+    )
+
+    if args.out != "-":
+        out_path = Path(args.out)
+        write_report(out_path, results, suite=args.suite, size=args.size)
+        print(f"wrote {out_path} ({len(results)} benchmarks)")
+
+    if baseline is not None:
+        regressions, skipped = compare_results(
+            results, baseline, max_regress_pct=args.max_regress
+        )
+        for name in skipped:
+            print(f"compare: skipped {name} (not in both reports)")
+        if regressions:
+            for reg in regressions:
+                print(
+                    f"REGRESSION {reg.name}: median "
+                    f"{reg.baseline_median_s * 1e3:.2f} ms -> "
+                    f"{reg.current_median_s * 1e3:.2f} ms "
+                    f"(+{reg.regress_pct:.1f}% > {args.max_regress:.1f}%)"
+                )
+            return 1
+        print(f"compare: no regressions beyond {args.max_regress:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,220 @@
+"""Benchmark harness primitives.
+
+A :class:`BenchSpec` names a measurable unit of work; :func:`run_spec`
+times it with warmup + repeats and returns a :class:`BenchResult` carrying
+min/median/mean/stddev wall-clock seconds.  Results serialize to the
+``BENCH_core.json`` schema (see :mod:`repro.bench.cli`) so the perf
+trajectory can be tracked and regression-gated across PRs.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = [
+    "BenchSpec",
+    "BenchResult",
+    "run_spec",
+    "run_specs",
+    "compare_results",
+    "Regression",
+]
+
+#: JSON schema identifier stamped into every benchmark report.
+SCHEMA = "repro.bench/v1"
+
+
+@dataclass(frozen=True, slots=True)
+class BenchSpec:
+    """A named benchmark: a callable timed under warmup + repeats.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier; comparisons across reports join on it.
+    kind:
+        ``"micro"`` (one subsystem operation in a tight loop) or
+        ``"macro"`` (an end-to-end experiment path).
+    description:
+        One line of human context.
+    unit:
+        What one repeat measures (always wall-clock seconds; the unit
+        string documents the work inside, e.g. ``"s / 20k events"``).
+    fn:
+        The measured callable.  It may return a dict of floats, merged
+        into the result's ``extra`` (throughput numbers etc.); the dict
+        from the *last* repeat wins.
+    setup:
+        Optional un-timed callable invoked once before warmup (builds
+        caches, worlds, workloads).
+    repeats / warmup:
+        Default measurement counts; the CLI can override both.
+    post:
+        Optional hook receiving the finished :class:`BenchResult` and
+        returning additional ``extra`` entries (e.g. speedup vs a
+        recorded baseline).
+    """
+
+    name: str
+    kind: str
+    description: str
+    unit: str
+    fn: Callable[[], Any]
+    setup: Callable[[], None] | None = None
+    repeats: int = 5
+    warmup: int = 1
+    post: Callable[["BenchResult"], dict[str, float]] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("micro", "macro"):
+            raise ValueError(f"kind must be 'micro' or 'macro', got {self.kind!r}")
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {self.repeats}")
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+
+
+@dataclass(frozen=True, slots=True)
+class BenchResult:
+    """Timing summary of one :class:`BenchSpec` run."""
+
+    name: str
+    kind: str
+    unit: str
+    repeats: int
+    warmup: int
+    best_s: float
+    median_s: float
+    mean_s: float
+    stddev_s: float
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "unit": self.unit,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "best_s": self.best_s,
+            "median_s": self.median_s,
+            "mean_s": self.mean_s,
+            "stddev_s": self.stddev_s,
+            "extra": dict(self.extra),
+        }
+
+
+def run_spec(
+    spec: BenchSpec,
+    repeats: int | None = None,
+    warmup: int | None = None,
+) -> BenchResult:
+    """Time ``spec`` and summarize the repeats."""
+    n_repeats = spec.repeats if repeats is None else max(1, repeats)
+    n_warmup = spec.warmup if warmup is None else max(0, warmup)
+    if spec.setup is not None:
+        spec.setup()
+    extra: dict[str, float] = {}
+    for _ in range(n_warmup):
+        spec.fn()
+    times: list[float] = []
+    for _ in range(n_repeats):
+        t0 = time.perf_counter()
+        returned = spec.fn()
+        times.append(time.perf_counter() - t0)
+        if isinstance(returned, dict):
+            extra.update(
+                (key, float(value)) for key, value in returned.items()
+            )
+    result = BenchResult(
+        name=spec.name,
+        kind=spec.kind,
+        unit=spec.unit,
+        repeats=n_repeats,
+        warmup=n_warmup,
+        best_s=min(times),
+        median_s=statistics.median(times),
+        mean_s=statistics.fmean(times),
+        stddev_s=statistics.stdev(times) if len(times) > 1 else 0.0,
+        extra=extra,
+    )
+    if spec.post is not None:
+        extra.update(spec.post(result))
+    return result
+
+
+def run_specs(
+    specs: list[BenchSpec],
+    repeats: int | None = None,
+    warmup: int | None = None,
+    log: Callable[[str], None] | None = None,
+) -> list[BenchResult]:
+    """Run every spec in order, optionally logging progress lines."""
+    results = []
+    for spec in specs:
+        if log is not None:
+            log(f"bench {spec.kind}/{spec.name} ...")
+        result = run_spec(spec, repeats=repeats, warmup=warmup)
+        if log is not None:
+            log(
+                f"bench {spec.kind}/{spec.name}: "
+                f"best {result.best_s * 1e3:.2f} ms, "
+                f"median {result.median_s * 1e3:.2f} ms"
+            )
+        results.append(result)
+    return results
+
+
+@dataclass(frozen=True, slots=True)
+class Regression:
+    """A benchmark that slowed down beyond the allowed threshold."""
+
+    name: str
+    baseline_median_s: float
+    current_median_s: float
+    regress_pct: float
+
+
+def compare_results(
+    current: list[BenchResult],
+    baseline: dict[str, Any],
+    max_regress_pct: float,
+) -> tuple[list[Regression], list[str]]:
+    """Compare ``current`` against a parsed baseline report.
+
+    Matching is by benchmark name on the median (more noise-robust than
+    the best).  Returns the regressions beyond ``max_regress_pct`` and
+    the names present in only one of the two reports (skipped).
+    """
+    baseline_by_name = {
+        entry["name"]: entry for entry in baseline.get("results", [])
+    }
+    regressions: list[Regression] = []
+    skipped: list[str] = []
+    seen = set()
+    for result in current:
+        seen.add(result.name)
+        entry = baseline_by_name.get(result.name)
+        if entry is None:
+            skipped.append(result.name)
+            continue
+        base_median = float(entry["median_s"])
+        if base_median <= 0.0 or not math.isfinite(base_median):
+            skipped.append(result.name)
+            continue
+        regress_pct = (result.median_s / base_median - 1.0) * 100.0
+        if regress_pct > max_regress_pct:
+            regressions.append(
+                Regression(
+                    name=result.name,
+                    baseline_median_s=base_median,
+                    current_median_s=result.median_s,
+                    regress_pct=regress_pct,
+                )
+            )
+    skipped.extend(sorted(set(baseline_by_name) - seen))
+    return regressions, skipped

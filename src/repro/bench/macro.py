@@ -1,0 +1,109 @@
+"""Macro benchmarks: end-to-end experiment paths.
+
+``figure2_end_to_end`` runs at the seed default scale and records the
+speedup against the pre-optimization baseline measured on this repo before
+the hot-path pass (see ``PRE_PR_FIGURE2_BEST_S``); the other specs run at
+reduced sizes so the whole macro suite stays in CI-friendly wall time.
+"""
+
+from __future__ import annotations
+
+from repro.bench.core import BenchSpec, BenchResult
+from repro.experiments import figure2, fuzz, loss, scaling
+from repro.experiments.common import default_scale
+
+__all__ = ["specs", "PRE_PR_FIGURE2_BEST_S"]
+
+#: best-of-5 wall-clock of ``figure2.run()`` at the seed default scale
+#: (REPRO_SCALE unset, i.e. 0.25) measured immediately before the hot-path
+#: optimization pass.  The recorded ``speedup_vs_pre_pr`` in
+#: ``BENCH_core.json`` is relative to this number and only meaningful at
+#: that same scale.
+PRE_PR_FIGURE2_BEST_S = 0.432
+_PRE_PR_SCALE = 0.25
+
+#: reduced sizes for the non-figure2 macro paths.
+_SCALING_SCALE = 0.05
+_FUZZ_SEEDS = 2
+_FUZZ_STEPS = 40
+_LOSS_QUERIES = 300
+_LOSS_DROPS = (0.0, 0.1)
+
+
+def _figure2_post(result: BenchResult) -> dict[str, float]:
+    extra = {"pre_pr_best_s": PRE_PR_FIGURE2_BEST_S}
+    if default_scale() == _PRE_PR_SCALE and result.best_s > 0:
+        extra["speedup_vs_pre_pr"] = PRE_PR_FIGURE2_BEST_S / result.best_s
+    return extra
+
+
+def _fuzz_post(result: BenchResult) -> dict[str, float]:
+    total_steps = _FUZZ_SEEDS * _FUZZ_STEPS
+    if result.median_s <= 0:
+        return {}
+    return {"fuzz_steps_per_s": total_steps / result.median_s}
+
+
+def _loss_post(result: BenchResult) -> dict[str, float]:
+    # Each (drop, reliability) cell replays the full query workload.
+    total_queries = _LOSS_QUERIES * len(_LOSS_DROPS) * 2
+    if result.median_s <= 0:
+        return {}
+    return {"loss_queries_per_s": total_queries / result.median_s}
+
+
+def specs() -> list[BenchSpec]:
+    """The macro suite."""
+    return [
+        BenchSpec(
+            name="figure2_end_to_end",
+            kind="macro",
+            description="Figure 2 pipeline: build world, stats, MaxFair, fairness",
+            unit="s / run (seed scale)",
+            fn=lambda: figure2.run(),
+            repeats=5,
+            warmup=1,
+            post=_figure2_post,
+        ),
+        BenchSpec(
+            name="scaling_sweep",
+            kind="macro",
+            description=f"T1 scaling grid + ablations at scale {_SCALING_SCALE}",
+            unit=f"s / sweep (scale {_SCALING_SCALE})",
+            fn=lambda: scaling.run(scale=_SCALING_SCALE),
+            repeats=3,
+            warmup=1,
+        ),
+        BenchSpec(
+            name="fuzz_steps",
+            kind="macro",
+            description=(
+                f"chaos fuzzing, {_FUZZ_SEEDS} seeds x {_FUZZ_STEPS} steps "
+                "with invariant checks"
+            ),
+            unit=f"s / {_FUZZ_SEEDS * _FUZZ_STEPS} fuzz steps",
+            fn=lambda: fuzz.run(
+                seed=0,
+                seeds=_FUZZ_SEEDS,
+                steps=_FUZZ_STEPS,
+                check_invariants=True,
+                shrink_failing=False,
+            ),
+            repeats=3,
+            warmup=1,
+            post=_fuzz_post,
+        ),
+        BenchSpec(
+            name="loss_experiment",
+            kind="macro",
+            description=(
+                f"LOSS experiment, {_LOSS_QUERIES} queries x drops "
+                f"{_LOSS_DROPS} x (unreliable, reliable)"
+            ),
+            unit=f"s / sweep ({_LOSS_QUERIES} queries per cell)",
+            fn=lambda: loss.run(n_queries=_LOSS_QUERIES, drops=_LOSS_DROPS),
+            repeats=3,
+            warmup=1,
+            post=_loss_post,
+        ),
+    ]

@@ -1,0 +1,117 @@
+"""Micro benchmarks: one simulator-core operation per spec, in a tight loop.
+
+Each spec builds its own small world inside the measured callable so that
+repeats are independent; sizes scale linearly with the CLI ``--size``
+multiplier, letting CI run the same suite cheaply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.core import BenchSpec
+from repro.model.zipf import ZipfSampler
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+__all__ = ["specs"]
+
+
+def _engine_churn_fn(n_events: int):
+    def fn():
+        sim = Simulator()
+        remaining = [n_events]
+
+        def tick() -> None:
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return {"events_per_s": float(n_events)}
+
+    return fn
+
+
+def _network_fn(n_messages: int, n_nodes: int):
+    def fn():
+        sim = Simulator()
+        network = Network(sim, base_latency=0.01, bandwidth=None)
+        delivered = [0]
+
+        def handler(message) -> None:
+            delivered[0] += 1
+
+        for node_id in range(n_nodes):
+            network.register(node_id, handler)
+        for i in range(n_messages):
+            network.send(
+                src=i % n_nodes,
+                dst=(i + 1) % n_nodes,
+                kind="bench",
+                payload=None,
+            )
+        sim.run()
+        assert delivered[0] == n_messages
+        return {"messages_per_s": float(n_messages)}
+
+    return fn
+
+
+def _zipf_fn(n_items: int, n_samples: int):
+    sampler = ZipfSampler(n_items, 0.8)
+
+    def fn():
+        rng = np.random.default_rng(1234)
+        sampler.sample(rng, n_samples)
+        return {"samples_per_s": float(n_samples)}
+
+    return fn
+
+
+def _rate_post(key: str):
+    """Turn a work count stashed in ``extra`` into a per-second rate."""
+
+    def post(result):
+        work = result.extra.get(key, 0.0)
+        if result.median_s <= 0:
+            return {}
+        return {key: work / result.median_s}
+
+    return post
+
+
+def specs(size: float = 1.0) -> list[BenchSpec]:
+    """The micro suite, with work sizes scaled by ``size``."""
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    n_events = max(1000, int(20_000 * size))
+    n_messages = max(1000, int(10_000 * size))
+    n_samples = max(10_000, int(200_000 * size))
+    return [
+        BenchSpec(
+            name="engine_event_churn",
+            kind="micro",
+            description="heap schedule/pop throughput of the DES engine",
+            unit=f"s / {n_events} events",
+            fn=_engine_churn_fn(n_events),
+            post=_rate_post("events_per_s"),
+        ),
+        BenchSpec(
+            name="network_send_deliver",
+            kind="micro",
+            description="fault-free Network.send + deliver round trips",
+            unit=f"s / {n_messages} messages",
+            fn=_network_fn(n_messages, n_nodes=64),
+            post=_rate_post("messages_per_s"),
+        ),
+        BenchSpec(
+            name="zipf_sampling",
+            kind="micro",
+            description="precomputed-CDF Zipf sampling (ZipfSampler)",
+            unit=f"s / {n_samples} samples",
+            fn=_zipf_fn(n_items=20_000, n_samples=n_samples),
+            post=_rate_post("samples_per_s"),
+        ),
+    ]

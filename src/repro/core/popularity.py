@@ -129,32 +129,47 @@ def build_category_stats(instance: SystemInstance) -> CategoryStats:
     """
     n_categories = len(instance.categories)
     popularity = instance.category_popularity
-    contributor_count = np.zeros(n_categories)
-    capacity_units = np.zeros(n_categories)
-    storage_weight = np.zeros(n_categories)
+    # Accumulate into plain lists (float64 arithmetic either way, but list
+    # indexing avoids numpy scalar-indexing overhead on this hot path).
+    contributor_count = [0.0] * n_categories
+    capacity_units = [0.0] * n_categories
+    storage_weight = [0.0] * n_categories
 
+    documents = instance.documents
+    nodes = instance.nodes
     for node_id, cats in instance.node_categories.items():
-        node = instance.nodes[node_id]
+        node = nodes[node_id]
         # p_k(s): node k's contributed popularity per category.
         per_category: dict[int, float] = {}
+        get = per_category.get
         for doc_id in node.contributed_doc_ids:
-            doc = instance.documents[doc_id]
-            share = doc.popularity_per_category
-            for category_id in doc.categories:
-                per_category[category_id] = per_category.get(category_id, 0.0) + share
+            doc = documents[doc_id]
+            doc_cats = doc.categories
+            if len(doc_cats) == 1:
+                category_id = doc_cats[0]
+                per_category[category_id] = get(category_id, 0.0) + doc.popularity
+            else:
+                share = doc.popularity / len(doc_cats)
+                for category_id in doc_cats:
+                    per_category[category_id] = get(category_id, 0.0) + share
         total = sum(per_category.values())
-        for category_id in cats:
-            contributor_count[category_id] += 1
-            capacity_units[category_id] += node.capacity_units
-            if total > 0:
+        units = node.capacity_units
+        if total > 0:
+            for category_id in cats:
+                contributor_count[category_id] += 1
+                capacity_units[category_id] += units
                 storage_weight[category_id] += (
-                    node.capacity_units * per_category.get(category_id, 0.0) / total
+                    units * get(category_id, 0.0) / total
                 )
+        else:
+            for category_id in cats:
+                contributor_count[category_id] += 1
+                capacity_units[category_id] += units
     return CategoryStats(
         popularity=popularity,
-        contributor_count=contributor_count,
-        capacity_units=capacity_units,
-        storage_weight=storage_weight,
+        contributor_count=np.array(contributor_count),
+        capacity_units=np.array(capacity_units),
+        storage_weight=np.array(storage_weight),
     )
 
 

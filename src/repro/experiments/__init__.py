@@ -43,6 +43,12 @@ from repro.experiments import (  # noqa: F401  (re-exported for discovery)
     storage,
 )
 
+from repro.experiments.registry import (  # noqa: F401  (re-exported)
+    ExperimentResult,
+    ExperimentSpec,
+    build_registry,
+)
+
 #: experiment id -> module, used by the CLI and by tests.
 EXPERIMENTS = {
     "F2": figure2,
@@ -62,4 +68,14 @@ EXPERIMENTS = {
     "LOSS": loss,
 }
 
-__all__ = ["EXPERIMENTS"]
+#: experiment id -> :class:`ExperimentSpec`; the CLI and the
+#: :mod:`repro.api` facade dispatch through this, not through modules.
+REGISTRY = build_registry(EXPERIMENTS)
+
+__all__ = [
+    "EXPERIMENTS",
+    "REGISTRY",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "build_registry",
+]

@@ -29,6 +29,7 @@ from repro.experiments.common import des_scale
 from repro.metrics.report import format_table
 from repro.model.workload import make_query_workload, zipf_category_scenario
 from repro.overlay.system import P2PSystem, P2PSystemConfig
+from repro.experiments.registry import experiment_spec
 
 __all__ = ["CacheRow", "CachingResult", "run", "format_result"]
 
@@ -112,3 +113,10 @@ def format_result(result: CachingResult) -> str:
             f"scale = {result.scale}"
         ),
     )
+
+EXPERIMENT = experiment_spec(
+    name="X2",
+    description=__doc__,
+    run=run,
+    format_result=format_result,
+)

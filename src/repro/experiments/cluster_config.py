@@ -32,6 +32,7 @@ from repro.core.replication import plan_replication
 from repro.experiments.common import des_scale
 from repro.metrics.report import format_table
 from repro.model.system import SystemConfig, build_system
+from repro.experiments.registry import experiment_spec
 
 __all__ = ["ConfigRow", "ClusterConfigResult", "run", "format_result"]
 
@@ -133,3 +134,10 @@ def format_result(result: ClusterConfigResult) -> str:
             f"(future-work item ii), scale = {result.scale}"
         ),
     )
+
+EXPERIMENT = experiment_spec(
+    name="X1",
+    description=__doc__,
+    run=run,
+    format_result=format_result,
+)

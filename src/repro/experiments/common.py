@@ -10,6 +10,7 @@ to keep benchmark wall-time short, or to run the full paper scale:
 
 from __future__ import annotations
 
+import argparse
 import os
 
 import numpy as np
@@ -21,6 +22,9 @@ from repro.core.popularity import CategoryStats
 __all__ = [
     "default_scale",
     "des_scale",
+    "add_shared_arguments",
+    "add_fuzz_arguments",
+    "precheck_output_path",
     "fairness_of_assignment",
     "frozen_capacity_fairness",
 ]
@@ -47,6 +51,115 @@ def des_scale() -> float:
     if explicit is not None:
         return float(explicit)
     return min(0.1, float(os.environ.get("REPRO_SCALE", _DES_SCALE)))
+
+
+def add_shared_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the flags every experiment understands.
+
+    Parsed once here so each CLI front-end (the experiment runner, future
+    tools) exposes identical names and semantics: ``--scale``, ``--seed``,
+    ``--metrics-out``, ``--metrics-deterministic``, ``--trace``.
+    """
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="override the system scale factor (1.0 = full paper scale)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="root random seed"
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "dump a repro.obs metrics snapshot (JSONL) here after the "
+            "experiments finish"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-deterministic",
+        action="store_true",
+        help=(
+            "drop wall-clock histograms from the --metrics-out snapshot so "
+            "identical seeds produce byte-identical files"
+        ),
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "enable the repro.obs trace log; traced events are included "
+            "in the --metrics-out snapshot"
+        ),
+    )
+
+
+def add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the fuzz-only flags.
+
+    The canonical seed-count flag is ``--fuzz-seeds`` (distinct from the
+    shared ``--seed``); ``--seeds`` is kept as a deprecated alias so
+    existing invocations (e.g. the CI nightly fuzz job) keep working.
+    """
+    parser.add_argument(
+        "--fuzz-seeds",
+        "--seeds",
+        dest="fuzz_seeds",
+        type=int,
+        default=10,
+        help=(
+            "fuzz only: number of consecutive seeds to run (from --seed); "
+            "--seeds is a deprecated alias"
+        ),
+    )
+    parser.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        help="fuzz only: scheduled fault-injection steps per seed",
+    )
+    parser.add_argument(
+        "--check-invariants",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="fuzz only: assert system-wide invariants at every quiescent step",
+    )
+    parser.add_argument(
+        "--repro-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "fuzz only: write the shrunk pytest reproducer here when a "
+            "seed violates an invariant (nothing is written on success)"
+        ),
+    )
+
+
+def precheck_output_path(path: str | None, flag: str) -> str | None:
+    """Verify an output ``path`` is writable before any work runs.
+
+    Returns an error message naming the offending ``flag`` (or ``None``
+    when fine) — a typo'd output path should not cost the user the whole
+    experiment run.  Non-destructive: an existing file is not truncated,
+    and no empty file is left behind if the run never writes one (the
+    fuzz ``--repro-out`` contract is "nothing on success").
+    """
+    if path is None:
+        return None
+    existed = os.path.exists(path)
+    try:
+        with open(path, "a", encoding="utf-8"):
+            pass
+    except OSError as exc:
+        return f"cannot write {flag} path {path!r}: {exc}"
+    if not existed:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+    return None
 
 
 def fairness_of_assignment(

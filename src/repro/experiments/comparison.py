@@ -33,6 +33,7 @@ from repro.metrics.response import summarize_responses
 from repro.model.workload import make_query_workload, zipf_category_scenario
 from repro.overlay.system import P2PSystem
 from repro.sim.rng import RngRegistry
+from repro.experiments.registry import experiment_spec
 
 __all__ = ["SystemRow", "ComparisonResult", "run", "format_result"]
 
@@ -286,3 +287,10 @@ def format_result(result: ComparisonResult) -> str:
             )
         )
     return "\n\n".join(parts)
+
+EXPERIMENT = experiment_spec(
+    name="E1",
+    description=__doc__,
+    run=run,
+    format_result=format_result,
+)

@@ -36,6 +36,7 @@ from repro.overlay.adaptation import AdaptationConfig
 from repro.overlay.epidemic import dcrt_convergence
 from repro.overlay.peer import DocInfo
 from repro.overlay.system import P2PSystem
+from repro.experiments.registry import experiment_spec
 
 __all__ = ["DynamicsRound", "DynamicsResult", "run", "format_result"]
 
@@ -185,3 +186,10 @@ def format_result(result: DynamicsResult) -> str:
             f"agreement {result.final_dcrt_agreement:.3f}), scale = {result.scale}"
         ),
     )
+
+EXPERIMENT = experiment_spec(
+    name="E3",
+    description=__doc__,
+    run=run,
+    format_result=format_result,
+)

@@ -28,6 +28,7 @@ from repro.chaos import (
     run_schedule,
     shrink,
 )
+from repro.experiments.registry import experiment_spec
 
 __all__ = ["FuzzResult", "run", "format_result"]
 
@@ -129,3 +130,10 @@ def format_result(result: FuzzResult) -> str:
         lines.append("")
         lines.append(result.minimal_repro)
     return "\n".join(lines)
+
+EXPERIMENT = experiment_spec(
+    name="FUZZ",
+    description=__doc__,
+    run=run,
+    format_result=format_result,
+)

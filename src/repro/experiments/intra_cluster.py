@@ -30,6 +30,7 @@ from repro.experiments.common import des_scale
 from repro.metrics.report import format_table
 from repro.model.workload import make_query_workload, zipf_category_scenario
 from repro.overlay.system import P2PSystem
+from repro.experiments.registry import experiment_spec
 
 __all__ = ["IntraClusterRow", "IntraClusterResult", "run", "format_result"]
 
@@ -178,3 +179,10 @@ def format_result(result: IntraClusterResult) -> str:
             )
         )
     return "\n\n".join(parts)
+
+EXPERIMENT = experiment_spec(
+    name="E2",
+    description=__doc__,
+    run=run,
+    format_result=format_result,
+)

@@ -29,6 +29,7 @@ from repro.metrics.response import summarize_responses
 from repro.model.workload import make_query_workload, zipf_category_scenario
 from repro.overlay.system import P2PSystem, P2PSystemConfig
 from repro.reliability import ReliabilityConfig
+from repro.experiments.registry import experiment_spec
 
 __all__ = ["LossRow", "LossResult", "measure", "run", "format_result"]
 
@@ -176,3 +177,10 @@ def format_result(result: LossResult) -> str:
             f"(scale={result.scale}, {result.n_queries} queries per cell)"
         ),
     )
+
+EXPERIMENT = experiment_spec(
+    name="LOSS",
+    description=__doc__,
+    run=run,
+    format_result=format_result,
+)

@@ -27,6 +27,7 @@ from repro.metrics.report import format_kv
 from repro.model.workload import make_query_workload, zipf_category_scenario
 from repro.overlay.rebalance import rebalance_cost
 from repro.overlay.system import P2PSystem
+from repro.experiments.registry import experiment_spec
 
 __all__ = ["RebalanceCostResult", "run", "format_result"]
 
@@ -119,3 +120,10 @@ def format_result(result: RebalanceCostResult) -> str:
         ("simulated engaged fraction", f"{result.sim_engaged_fraction:.3%}"),
     ]
     return format_kv(rows, title="T3 — Section 6.1.3 rebalancing-cost example")
+
+EXPERIMENT = experiment_spec(
+    name="T3",
+    description=__doc__,
+    run=run,
+    format_result=format_result,
+)

@@ -6,8 +6,12 @@ Installed as ``repro-experiments``; also runnable as
     repro-experiments --list
     repro-experiments F2 F5
     repro-experiments all
-    repro-experiments fuzz --seeds 25 --check-invariants
+    repro-experiments fuzz --fuzz-seeds 25 --check-invariants
     REPRO_SCALE=1.0 repro-experiments F2     # full paper scale
+
+Dispatch goes through the :data:`repro.experiments.REGISTRY` of
+:class:`~repro.experiments.registry.ExperimentSpec` objects; the shared
+flags are defined once in :mod:`repro.experiments.common`.
 """
 
 from __future__ import annotations
@@ -15,14 +19,27 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import warnings
 
 from repro import obs
-from repro.experiments import EXPERIMENTS
+from repro.experiments import REGISTRY
+from repro.experiments.common import (
+    add_fuzz_arguments,
+    add_shared_arguments,
+    precheck_output_path,
+)
 
 __all__ = ["main"]
 
 
 def _describe(module) -> str:
+    """Deprecated: use ``REGISTRY[id].description`` instead."""
+    warnings.warn(
+        "_describe(module) is deprecated; use "
+        "repro.experiments.REGISTRY[id].description",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     doc = (module.__doc__ or "").strip().splitlines()
     return doc[0] if doc else ""
 
@@ -43,97 +60,44 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"
     )
-    parser.add_argument(
-        "--scale",
-        type=float,
-        default=None,
-        help="override the system scale factor (1.0 = full paper scale)",
-    )
-    parser.add_argument(
-        "--seed", type=int, default=7, help="root random seed"
-    )
-    parser.add_argument(
-        "--seeds",
-        type=int,
-        default=10,
-        help="fuzz only: number of consecutive seeds to run (from --seed)",
-    )
-    parser.add_argument(
-        "--steps",
-        type=int,
-        default=None,
-        help="fuzz only: scheduled fault-injection steps per seed",
-    )
-    parser.add_argument(
-        "--check-invariants",
-        action=argparse.BooleanOptionalAction,
-        default=True,
-        help="fuzz only: assert system-wide invariants at every quiescent step",
-    )
-    parser.add_argument(
-        "--repro-out",
-        metavar="PATH",
-        default=None,
-        help=(
-            "fuzz only: write the shrunk pytest reproducer here when a "
-            "seed violates an invariant (nothing is written on success)"
-        ),
-    )
-    parser.add_argument(
-        "--metrics-out",
-        metavar="PATH",
-        default=None,
-        help=(
-            "dump a repro.obs metrics snapshot (JSONL) here after the "
-            "experiments finish"
-        ),
-    )
-    parser.add_argument(
-        "--metrics-deterministic",
-        action="store_true",
-        help=(
-            "drop wall-clock histograms from the --metrics-out snapshot so "
-            "identical seeds produce byte-identical files"
-        ),
-    )
-    parser.add_argument(
-        "--trace",
-        action="store_true",
-        help=(
-            "enable the repro.obs trace log; traced events are included "
-            "in the --metrics-out snapshot"
-        ),
-    )
-    args = parser.parse_args(argv)
+    add_shared_arguments(parser)
+    add_fuzz_arguments(parser)
+    raw_argv = sys.argv[1:] if argv is None else argv
+    args = parser.parse_args(raw_argv)
+    if any(a == "--seeds" or a.startswith("--seeds=") for a in raw_argv):
+        warnings.warn(
+            "--seeds is deprecated; use --fuzz-seeds",
+            DeprecationWarning,
+            stacklevel=2,
+        )
 
     if args.list or not args.experiments:
         print("available experiments:")
-        for exp_id, module in EXPERIMENTS.items():
-            print(f"  {exp_id:4s} {_describe(module)}")
+        for exp_id, spec in REGISTRY.items():
+            print(f"  {exp_id:4s} {spec.description}")
         return 0
 
     wanted = (
-        list(EXPERIMENTS)
+        list(REGISTRY)
         if [e.lower() for e in args.experiments] == ["all"]
         else [e.upper() for e in args.experiments]
     )
-    unknown = [e for e in wanted if e not in EXPERIMENTS]
+    unknown = [e for e in wanted if e not in REGISTRY]
     if unknown:
         print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"known ids: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        print(f"known ids: {', '.join(REGISTRY)}", file=sys.stderr)
         return 2
 
-    if args.metrics_out is not None:
-        # Fail before running anything: a typo'd output path should not
-        # cost the user the whole experiment run.
-        try:
-            with open(args.metrics_out, "w", encoding="utf-8"):
-                pass
-        except OSError as exc:
-            print(
-                f"cannot write --metrics-out path {args.metrics_out!r}: {exc}",
-                file=sys.stderr,
-            )
+    # Fail before running anything: a typo'd output path should not cost
+    # the user the whole experiment run.  Both output flags get the same
+    # precheck, and the error message names the flag that is wrong.
+    for path, flag in (
+        (args.metrics_out, "--metrics-out"),
+        (args.repro_out, "--repro-out"),
+    ):
+        error = precheck_output_path(path, flag)
+        if error is not None:
+            print(error, file=sys.stderr)
             return 2
 
     obs.reset()  # a fresh observation window per CLI invocation
@@ -142,29 +106,29 @@ def main(argv: list[str] | None = None) -> int:
     fuzz_failed = False
     try:
         for exp_id in wanted:
-            module = EXPERIMENTS[exp_id]
+            spec = REGISTRY[exp_id]
             started = time.perf_counter()
             kwargs = {}
-            if args.scale is not None:
+            if args.scale is not None and spec.accepts("scale"):
                 kwargs["scale"] = args.scale
-            if "seed" in module.run.__code__.co_varnames:
+            if spec.accepts("seed"):
                 kwargs["seed"] = args.seed
             if exp_id == "FUZZ":
-                kwargs["seeds"] = args.seeds
+                kwargs["seeds"] = args.fuzz_seeds
                 kwargs["check_invariants"] = args.check_invariants
                 if args.steps is not None:
                     kwargs["steps"] = args.steps
             with obs.Timer(obs.histogram(f"experiment.{exp_id.lower()}_s")):
-                result = module.run(**kwargs)
+                result = spec.call(**kwargs)
             elapsed = time.perf_counter() - started
-            print(module.format_result(result))
+            print(spec.format_result(result))
             print(f"[{exp_id} completed in {elapsed:.1f}s]")
             print()
-            if exp_id == "FUZZ" and result.failing_seeds:
+            if exp_id == "FUZZ" and result.raw.failing_seeds:
                 fuzz_failed = True
-                if args.repro_out is not None and result.minimal_repro:
+                if args.repro_out is not None and result.raw.minimal_repro:
                     with open(args.repro_out, "w", encoding="utf-8") as handle:
-                        handle.write(result.minimal_repro)
+                        handle.write(result.raw.minimal_repro)
                     print(f"[fuzz reproducer -> {args.repro_out}]")
         if args.metrics_out is not None:
             lines = obs.dump_jsonl(

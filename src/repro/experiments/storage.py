@@ -29,6 +29,7 @@ from repro.experiments.common import des_scale
 from repro.metrics.report import format_kv
 from repro.model.workload import zipf_category_scenario
 from repro.model.zipf import expected_top_mass, top_mass_count, zipf_pmf
+from repro.experiments.registry import experiment_spec
 
 __all__ = ["StorageResult", "run", "format_result"]
 
@@ -111,3 +112,10 @@ def format_result(result: StorageResult) -> str:
         ("simulated storage fairness", f"{result.sim_storage_fairness:.4f}"),
     ]
     return format_kv(rows, title="T2 — Section 4.3.3 storage example")
+
+EXPERIMENT = experiment_spec(
+    name="T2",
+    description=__doc__,
+    run=run,
+    format_result=format_result,
+)

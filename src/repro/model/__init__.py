@@ -24,7 +24,7 @@ from repro.model.workload import (
     uniform_category_scenario,
     zipf_category_scenario,
 )
-from repro.model.zipf import zipf_pmf, zipf_sample
+from repro.model.zipf import ZipfSampler, zipf_pmf, zipf_sample
 
 __all__ = [
     "Category",
@@ -39,6 +39,7 @@ __all__ = [
     "make_query_workload",
     "uniform_category_scenario",
     "zipf_category_scenario",
+    "ZipfSampler",
     "zipf_pmf",
     "zipf_sample",
 ]

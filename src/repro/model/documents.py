@@ -49,7 +49,9 @@ class Document:
             raise ValueError(f"popularity must be >= 0, got {self.popularity}")
         if not self.categories:
             raise ValueError("a document must belong to at least one category")
-        if len(set(self.categories)) != len(self.categories):
+        if len(self.categories) > 1 and len(set(self.categories)) != len(
+            self.categories
+        ):
             raise ValueError(f"duplicate categories: {self.categories}")
         if self.size_bytes <= 0:
             raise ValueError(f"size_bytes must be positive, got {self.size_bytes}")

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.model.documents import Category, Document
 from repro.model.nodes import Node
-from repro.model.zipf import zipf_pmf
+from repro.model.zipf import ZipfSampler, zipf_pmf
 
 __all__ = ["SystemConfig", "SystemInstance", "build_system"]
 
@@ -216,26 +216,24 @@ def _assign_doc_categories(
     """
     n_docs, n_cats = config.n_docs, config.n_categories
     if config.scenario == SCENARIO_ZIPF:
-        category_pmf = zipf_pmf(n_cats, config.category_theta)
-        primary = rng.choice(n_cats, size=n_docs, p=category_pmf)
+        sampler = ZipfSampler(n_cats, config.category_theta)
+        primary = sampler.sample(rng, n_docs)
     else:
         primary = rng.integers(0, n_cats, size=n_docs)
 
-    assignments: list[tuple[int, ...]] = []
-    multi = (
-        rng.random(n_docs) < config.multi_category_fraction
-        if config.multi_category_fraction > 0
-        else np.zeros(n_docs, dtype=bool)
-    )
-    for i in range(n_docs):
-        if not multi[i]:
-            assignments.append((int(primary[i]),))
-            continue
+    # Documents are single-category unless multi_category_fraction opts in;
+    # the all-single case is fully vectorized (no per-document rng calls,
+    # matching the historical draw-for-draw behaviour exactly).
+    assignments: list[tuple[int, ...]] = [(c,) for c in primary.tolist()]
+    if config.multi_category_fraction <= 0:
+        return assignments
+    multi = rng.random(n_docs) < config.multi_category_fraction
+    for i in np.flatnonzero(multi).tolist():
         extra_count = int(rng.integers(1, config.max_categories_per_doc))
-        cats = {int(primary[i])}
+        cats = {assignments[i][0]}
         while len(cats) < extra_count + 1 and len(cats) < n_cats:
             cats.add(int(rng.integers(0, n_cats)))
-        assignments.append(tuple(sorted(cats)))
+        assignments[i] = tuple(sorted(cats))
     return assignments
 
 
@@ -259,24 +257,67 @@ def _assign_contributors(
     # Round-robin one category per node first so that every category has a
     # potential contributor whenever n_nodes >= n_categories.
     order = rng.permutation(n_cats)
-    for i, category_id in enumerate(order):
-        interests[i % n_nodes].add(int(category_id))
+    for i, category_id in enumerate(order.tolist()):
+        interests[i % n_nodes].add(category_id)
 
+    # Rejection-sample the remaining interests from a pre-drawn buffer.
+    # Batched ``rng.integers`` draws are value- and state-identical to the
+    # historical one-at-a-time draws; if the buffer over-draws, the saved
+    # state is restored and exactly the consumed count is re-drawn so the
+    # stream stays aligned draw-for-draw.
     target_counts = rng.integers(low, high + 1, size=n_nodes)
+    wants_list = np.minimum(target_counts, n_cats).tolist()
+    deficit = sum(
+        max(want - len(interests[i]), 0) for i, want in enumerate(wants_list)
+    )
+    state = rng.bit_generator.state
+    drawn = 0
+    buf: list[int] = []
+    pos = 0
     for node_id in range(n_nodes):
-        want = int(target_counts[node_id])
-        while len(interests[node_id]) < min(want, n_cats):
-            interests[node_id].add(int(rng.integers(0, n_cats)))
+        node_interests = interests[node_id]
+        want = wants_list[node_id]
+        while len(node_interests) < want:
+            if pos == len(buf):
+                batch = max(deficit + (deficit >> 3) + 64, 256)
+                buf = rng.integers(0, n_cats, size=batch).tolist()
+                drawn += batch
+                pos = 0
+            node_interests.add(buf[pos])
+            pos += 1
+    consumed = drawn - (len(buf) - pos)
+    if consumed != drawn:
+        rng.bit_generator.state = state
+        if consumed:
+            rng.integers(0, n_cats, size=consumed)
 
     by_category: list[list[int]] = [[] for _ in range(n_cats)]
     for node_id, cats in enumerate(interests):
         for category_id in cats:
             by_category[category_id].append(node_id)
 
+    if doc_categories:
+        primary = np.fromiter(
+            (cats[0] for cats in doc_categories),
+            dtype=np.int64,
+            count=len(doc_categories),
+        )
+        counts = np.array([len(b) for b in by_category], dtype=np.int64)
+        bounds = counts[primary]
+        if bounds.min() > 0:
+            # One vectorized bounded draw per document is value- and
+            # state-identical to the historical per-document scalar draws.
+            draws = rng.integers(0, bounds)
+            flat = np.array(
+                [node_id for b in by_category for node_id in b], dtype=np.int64
+            )
+            offsets = np.zeros(n_cats, dtype=np.int64)
+            np.cumsum(counts[:-1], out=offsets[1:])
+            return flat[offsets[primary] + draws].tolist()
+
     contributors: list[int] = []
     for categories in doc_categories:
-        primary = categories[0]
-        candidates = by_category[primary]
+        candidates = by_category[categories[0]]
         if candidates:
             contributors.append(int(candidates[rng.integers(0, len(candidates))]))
         else:
@@ -300,38 +341,96 @@ def build_system(config: SystemConfig) -> SystemInstance:
     doc_categories = _assign_doc_categories(rng, config)
     contributors = _assign_contributors(rng, config, doc_categories)
 
-    documents: dict[int, Document] = {}
     categories = [
         Category(category_id=i, name=f"category-{i}")
         for i in range(config.n_categories)
     ]
     capacities = rng.integers(
         config.capacity_range[0], config.capacity_range[1] + 1, size=config.n_nodes
-    )
+    ).tolist()
     nodes = {
         node_id: Node(node_id=node_id, capacity_units=float(capacities[node_id]))
         for node_id in range(config.n_nodes)
     }
-    node_categories: dict[int, list[int]] = {}
 
-    for doc_id in range(config.n_docs):
-        doc = Document(
+    pop_list = doc_popularity.tolist()
+    doc_size = config.doc_size_bytes
+    documents: dict[int, Document] = {
+        doc_id: Document(
             doc_id=doc_id,
-            popularity=float(doc_popularity[doc_id]),
+            popularity=pop_list[doc_id],
             categories=doc_categories[doc_id],
-            size_bytes=config.doc_size_bytes,
+            size_bytes=doc_size,
         )
-        documents[doc_id] = doc
-        contributor = contributors[doc_id]
-        nodes[contributor].contribute(doc_id)
-        for category_id in doc.categories:
-            categories[category_id].add_document(doc)
-            cats = node_categories.setdefault(contributor, [])
-            if category_id not in cats:
-                cats.append(category_id)
+        for doc_id in range(config.n_docs)
+    }
 
-    for cats in node_categories.values():
-        cats.sort()
+    # Group contributions per node in one pass (stable sort keeps each
+    # node's documents in publication = doc-id order, exactly as repeated
+    # Node.contribute calls would).
+    contrib_arr = np.asarray(contributors, dtype=np.int64)
+    by_node_order = np.argsort(contrib_arr, kind="stable")
+    contributing_nodes, node_starts = np.unique(
+        contrib_arr[by_node_order], return_index=True
+    )
+    node_ends = np.append(node_starts[1:], len(contrib_arr))
+    for k, node_id in enumerate(contributing_nodes.tolist()):
+        doc_ids = by_node_order[node_starts[k] : node_ends[k]].tolist()
+        node = nodes[node_id]
+        node.contributed_doc_ids = doc_ids
+        node.stored_doc_ids = set(doc_ids)
+
+    node_categories: dict[int, list[int]] = {}
+    if config.multi_category_fraction <= 0:
+        # Single-category fast path: per-category membership and popularity
+        # via grouped array ops.  np.bincount accumulates weights in scan
+        # (= doc-id) order, bitwise-identical to the incremental
+        # Category.add_document sums it replaces.
+        cats_arr = np.fromiter(
+            (cats[0] for cats in doc_categories),
+            dtype=np.int64,
+            count=config.n_docs,
+        )
+        by_cat_order = np.argsort(cats_arr, kind="stable")
+        populated_cats, cat_starts = np.unique(
+            cats_arr[by_cat_order], return_index=True
+        )
+        cat_ends = np.append(cat_starts[1:], len(cats_arr))
+        cat_pop = np.bincount(
+            cats_arr, weights=doc_popularity, minlength=config.n_categories
+        )
+        for k, category_id in enumerate(populated_cats.tolist()):
+            category = categories[category_id]
+            category.doc_ids = by_cat_order[cat_starts[k] : cat_ends[k]].tolist()
+            category.popularity = float(cat_pop[category_id])
+
+        # node_categories keys follow each contributor's first appearance in
+        # doc-id order (dict insertion order of the historical per-doc loop);
+        # values are the node's distinct categories, ascending.
+        _, first_doc = np.unique(contrib_arr, return_index=True)
+        key_order = contributing_nodes[np.argsort(first_doc, kind="stable")]
+        pair_keys = np.unique(contrib_arr * config.n_categories + cats_arr)
+        pair_nodes = pair_keys // config.n_categories
+        pair_cats = pair_keys % config.n_categories
+        pair_starts = np.searchsorted(pair_nodes, contributing_nodes, side="left")
+        pair_ends = np.searchsorted(pair_nodes, contributing_nodes, side="right")
+        cats_of = {
+            int(node_id): pair_cats[pair_starts[k] : pair_ends[k]].tolist()
+            for k, node_id in enumerate(contributing_nodes.tolist())
+        }
+        for node_id in key_order.tolist():
+            node_categories[node_id] = cats_of[node_id]
+    else:
+        for doc_id in range(config.n_docs):
+            doc = documents[doc_id]
+            contributor = contributors[doc_id]
+            for category_id in doc.categories:
+                categories[category_id].add_document(doc)
+                cats = node_categories.setdefault(contributor, [])
+                if category_id not in cats:
+                    cats.append(category_id)
+        for cats in node_categories.values():
+            cats.sort()
 
     return SystemInstance(
         config=config,

@@ -132,29 +132,35 @@ def make_query_workload(
     if n_queries < 0:
         raise ValueError(f"n_queries must be non-negative, got {n_queries}")
     rng = np.random.default_rng(seed)
-    doc_ids = np.array(sorted(instance.documents))
-    popularity = np.array(
-        [instance.documents[int(d)].popularity for d in doc_ids]
-    )
+    documents = instance.documents
+    doc_ids = sorted(documents)
+    popularity = np.array([documents[d].popularity for d in doc_ids])
     total = popularity.sum()
     if total <= 0:
         raise ValueError("instance has zero total popularity")
-    choices = rng.choice(len(doc_ids), size=n_queries, p=popularity / total)
+    # Inverse-CDF sampling: consumes the same RNG stream and yields the
+    # same indices as rng.choice(len(doc_ids), size, p=popularity / total),
+    # without numpy's per-call pmf validation.
+    cdf = np.cumsum(popularity / total)
+    cdf /= cdf[-1]
+    choices = cdf.searchsorted(rng.random(n_queries), side="right")
     requesters = rng.integers(0, len(instance.nodes), size=n_queries)
-    node_ids = np.array(sorted(instance.nodes))
+    node_ids = sorted(instance.nodes)
+    n_nodes = len(node_ids)
 
-    queries = []
-    for i in range(n_queries):
-        doc = instance.documents[int(doc_ids[choices[i]])]
-        queries.append(
-            Query(
-                query_id=i,
-                requester_id=int(node_ids[requesters[i] % len(node_ids)]),
-                target_doc_id=doc.doc_id,
-                category_ids=doc.categories,
-                m=m,
-            )
+    requester_list = requesters.tolist()
+    queries = [
+        Query(
+            query_id=i,
+            requester_id=node_ids[requester_list[i] % n_nodes],
+            target_doc_id=doc.doc_id,
+            category_ids=doc.categories,
+            m=m,
         )
+        for i, doc in enumerate(
+            documents[doc_ids[c]] for c in choices.tolist()
+        )
+    ]
     return QueryWorkload(queries=queries)
 
 

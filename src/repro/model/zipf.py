@@ -19,6 +19,7 @@ Zipf law.  All functions here are deterministic given an explicit
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 
 import numpy as np
 
@@ -26,6 +27,7 @@ __all__ = [
     "zipf_pmf",
     "zipf_sample",
     "zipf_cdf",
+    "ZipfSampler",
     "top_mass_count",
     "mass_of_top",
     "estimate_theta",
@@ -59,6 +61,44 @@ def zipf_cdf(n: int, theta: float) -> np.ndarray:
     return np.cumsum(zipf_pmf(n, theta))
 
 
+@lru_cache(maxsize=128)
+def _zipf_sampling_cdf(n: int, theta: float) -> np.ndarray:
+    """Normalized sampling CDF for ``ZipfSampler``, cached per (n, theta).
+
+    The returned array is marked read-only: it is shared across every
+    sampler with the same parameters.
+    """
+    cdf = np.cumsum(zipf_pmf(n, theta))
+    cdf /= cdf[-1]
+    cdf.setflags(write=False)
+    return cdf
+
+
+class ZipfSampler:
+    """Precomputed inverse-CDF sampler for a Zipf-like law.
+
+    Drawing via ``cdf.searchsorted(rng.random(size))`` consumes the same
+    RNG stream and returns the same values as ``rng.choice(n, size, p=pmf)``
+    (numpy's choice is implemented exactly this way), but skips rebuilding
+    and re-validating the pmf on every call — the CDF is computed once per
+    ``(n, theta)`` and shared.
+    """
+
+    __slots__ = ("n", "theta", "_cdf")
+
+    def __init__(self, n: int, theta: float) -> None:
+        self._cdf = _zipf_sampling_cdf(n, theta)
+        self.n = n
+        self.theta = theta
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` 0-based ranks; index 0 is the most popular item."""
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        idx = self._cdf.searchsorted(rng.random(size), side="right")
+        return np.asarray(idx, dtype=np.int64)
+
+
 def zipf_sample(
     rng: np.random.Generator, n: int, theta: float, size: int
 ) -> np.ndarray:
@@ -67,10 +107,7 @@ def zipf_sample(
     Returns an integer array of indices in ``[0, n)``, where index 0 is the
     most popular item.
     """
-    if size < 0:
-        raise ValueError(f"size must be non-negative, got {size}")
-    pmf = zipf_pmf(n, theta)
-    return rng.choice(n, size=size, p=pmf)
+    return ZipfSampler(n, theta).sample(rng, size)
 
 
 def top_mass_count(pmf: np.ndarray, mass: float) -> int:

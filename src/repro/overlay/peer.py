@@ -110,6 +110,9 @@ class PeerHooks:
     def on_document_dropped(self, peer: "Peer", doc_id: int) -> None:
         """A peer dropped a stored document."""
 
+    def on_request_served(self, peer: "Peer") -> None:
+        """The peer answered a query (its ``requests_served`` advanced)."""
+
     def lookup_holders(
         self, peer: "Peer", cluster_id: int, doc_id: int
     ) -> tuple[int, ...]:
@@ -682,6 +685,7 @@ class Peer:
         self.hit_counters[query.category_id] = (
             self.hit_counters.get(query.category_id, 0) + 1
         )
+        self.hooks.on_request_served(self)
         _C_QUERIES_SERVED.value += 1
         if _TRACE.enabled:
             _TRACE.emit(

@@ -126,11 +126,16 @@ class _SystemHooks(PeerHooks):
 
     def on_document_stored(self, peer: Peer, doc_id: int) -> None:
         self.system._doc_holders.setdefault(doc_id, set()).add(peer.node_id)
+        self.system._doc_holders_cache = None
 
     def on_document_dropped(self, peer: Peer, doc_id: int) -> None:
         holders = self.system._doc_holders.get(doc_id)
         if holders is not None:
             holders.discard(peer.node_id)
+            self.system._doc_holders_cache = None
+
+    def on_request_served(self, peer: Peer) -> None:
+        self.system._node_loads_cache = None
 
     def lookup_holders(
         self, peer: Peer, cluster_id: int, doc_id: int
@@ -223,6 +228,11 @@ class P2PSystem:
         #: the ids they have seen for loop detection (the paper's idQ is a
         #: unique pseudorandom number), so reusing one silences the query.
         self._next_query_id = 0
+        #: memoized snapshots for the dict-rebuilding views experiments
+        #: poll every round; ``None`` = dirty, rebuilt on next access.
+        self._node_loads_cache: dict[int, int] | None = None
+        self._doc_holders_cache: dict[int, set[int]] | None = None
+        self._cluster_members_cache: dict[int, set[int]] | None = None
 
         self._bootstrap()
 
@@ -396,11 +406,17 @@ class P2PSystem:
         return set(peer.memberships) if peer is not None else set()
 
     def node_loads(self) -> dict[int, int]:
-        """Requests served per peer — the paper's load measure."""
-        return {
-            node_id: peer.requests_served
-            for node_id, peer in sorted(self._peers.items())
-        }
+        """Requests served per peer — the paper's load measure.
+
+        The snapshot is cached and invalidated whenever any peer serves a
+        request (or counters reset); treat the returned dict as read-only.
+        """
+        if self._node_loads_cache is None:
+            self._node_loads_cache = {
+                node_id: peer.requests_served
+                for node_id, peer in sorted(self._peers.items())
+            }
+        return self._node_loads_cache
 
     def node_capacities(self) -> dict[int, float]:
         return {
@@ -426,19 +442,31 @@ class P2PSystem:
         return sorted(self._departed)
 
     def cluster_members_view(self) -> dict[int, set[int]]:
-        """Copy of the system's authoritative cluster membership sets."""
-        return {
-            cluster_id: set(members)
-            for cluster_id, members in sorted(self._cluster_members.items())
-        }
+        """Snapshot of the system's authoritative cluster membership sets.
+
+        Cached and invalidated on membership changes (join/leave/departure
+        notices); treat the returned dict and sets as read-only.
+        """
+        if self._cluster_members_cache is None:
+            self._cluster_members_cache = {
+                cluster_id: set(members)
+                for cluster_id, members in sorted(self._cluster_members.items())
+            }
+        return self._cluster_members_cache
 
     def doc_holders_view(self) -> dict[int, set[int]]:
-        """Copy of the cluster metadata: document id -> holder node ids."""
-        return {
-            doc_id: set(holders)
-            for doc_id, holders in sorted(self._doc_holders.items())
-            if holders
-        }
+        """Snapshot of the cluster metadata: document id -> holder node ids.
+
+        Cached and invalidated whenever a peer stores or drops a document;
+        treat the returned dict and sets as read-only.
+        """
+        if self._doc_holders_cache is None:
+            self._doc_holders_cache = {
+                doc_id: set(holders)
+                for doc_id, holders in sorted(self._doc_holders.items())
+                if holders
+            }
+        return self._doc_holders_cache
 
     def stored_docs_by_node(self) -> dict[int, set[int]]:
         """Document ids physically held by each peer object.
@@ -466,6 +494,7 @@ class P2PSystem:
         if peer.node_id in members:
             return
         members.add(peer.node_id)
+        self._cluster_members_cache = None
         graph = self._graphs.get(cluster_id)
         if graph is None:
             graph = build_cluster_graph(
@@ -493,6 +522,7 @@ class P2PSystem:
         members = self._cluster_members.get(notice.cluster_id)
         if members is not None:
             members.discard(notice.leaver_id)
+            self._cluster_members_cache = None
         graph = self._graphs.get(notice.cluster_id)
         if graph is not None:
             graph.remove_member(notice.leaver_id)
@@ -571,6 +601,7 @@ class P2PSystem:
             return
         peer.start_leave()
         self._departed.add(node_id)
+        self._cluster_members_cache = None
         for members in self._cluster_members.values():
             members.discard(node_id)
         for graph in self._graphs.values():
@@ -603,6 +634,7 @@ class P2PSystem:
         )
         self._peers[node_id] = peer
         self._departed.discard(node_id)
+        self._node_loads_cache = None
         for info in doc_infos:
             peer.store_document(info)
         if bootstrap_id is None:
@@ -648,6 +680,7 @@ class P2PSystem:
 
     def reset_hit_counters(self) -> None:
         """Start a fresh observation period (between adaptation rounds)."""
+        self._node_loads_cache = None
         for peer in self._peers.values():
             peer.hit_counters.clear()
             peer.requests_served = 0

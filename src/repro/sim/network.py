@@ -154,6 +154,19 @@ class Network:
         #: node id -> partition label; nodes in different partitions cannot
         #: communicate.  Unlabelled nodes share the default partition.
         self._partition: dict[int, int] = {}
+        #: True while no fault of any sort is armed; lets :meth:`send` skip
+        #: the whole crash/partition/loss check chain on the hot path.
+        self._fault_free = True
+        self._refresh_fault_state()
+
+    def _refresh_fault_state(self) -> None:
+        """Recompute the zero-fault flag after any fault-control change."""
+        self._fault_free = (
+            not self._crashed
+            and not self._partition
+            and self.drop_probability == 0.0
+            and not self._kind_drop
+        )
 
     # ------------------------------------------------------------------
     # membership
@@ -161,7 +174,9 @@ class Network:
     def register(self, node_id: int, handler: Callable[[Message], None]) -> None:
         """Attach a node's message handler (joins the network)."""
         self._handlers[node_id] = handler
-        self._crashed.discard(node_id)
+        if self._crashed:
+            self._crashed.discard(node_id)
+            self._refresh_fault_state()
 
     def unregister(self, node_id: int) -> None:
         """Detach a node (graceful leave)."""
@@ -170,10 +185,12 @@ class Network:
     def crash(self, node_id: int) -> None:
         """Mark a node crashed: it silently loses all traffic."""
         self._crashed.add(node_id)
+        self._fault_free = False
 
     def recover(self, node_id: int) -> None:
         """Clear a node's crashed flag."""
         self._crashed.discard(node_id)
+        self._refresh_fault_state()
 
     def is_alive(self, node_id: int) -> bool:
         return node_id in self._handlers and node_id not in self._crashed
@@ -193,10 +210,12 @@ class Network:
         """Place ``node_ids`` into partition ``label``."""
         for node_id in node_ids:
             self._partition[node_id] = label
+        self._refresh_fault_state()
 
     def heal_partitions(self) -> None:
         """Merge all partitions back into one network."""
         self._partition.clear()
+        self._refresh_fault_state()
 
     def _same_partition(self, a: int, b: int) -> bool:
         return self._partition.get(a, 0) == self._partition.get(b, 0)
@@ -229,6 +248,7 @@ class Network:
         if probability > 0.0 and self.rng is None:
             raise ValueError("drop_probability > 0 requires an rng")
         self.drop_probability = probability
+        self._refresh_fault_state()
 
     def set_kind_drop_probability(self, kind: str, probability: float) -> None:
         """Override the drop probability for one message ``kind``.
@@ -245,10 +265,12 @@ class Network:
         if probability > 0.0 and self.rng is None:
             raise ValueError("drop_probability > 0 requires an rng")
         self._kind_drop[kind] = probability
+        self._fault_free = False
 
     def clear_kind_drop_probabilities(self) -> None:
         """Remove all per-kind overrides (part of a chaos ``heal``)."""
         self._kind_drop.clear()
+        self._refresh_fault_state()
 
     def schedule_partition(self, delay: float, groups) -> None:
         """Schedule a partitioning: each group of node ids gets its own label.
@@ -346,9 +368,15 @@ class Network:
 
         # Checked in a fixed order so the rng is consulted only for
         # messages that would otherwise go through (deterministic
-        # fault-free runs) and each drop has exactly one reason.
+        # fault-free runs) and each drop has exactly one reason.  With no
+        # fault armed the chain collapses to a handler-presence check
+        # (``is_alive`` with an empty crash set); the rng is untouched on
+        # both paths, so fault-free runs stay deterministic either way.
         reason = None
-        if not self.is_alive(dst):
+        if self._fault_free:
+            if dst not in self._handlers:
+                reason = "dst-dead"
+        elif not self.is_alive(dst):
             reason = "dst-dead"
         elif src in self._crashed:
             reason = "src-crashed"

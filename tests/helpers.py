@@ -124,14 +124,11 @@ class MicroOverlay:
 #
 # Most overlay integration tests want the same thing: a scaled Zipf
 # scenario, a MaxFair assignment, a replication plan, and optionally a
-# live P2PSystem on top.  Building that by hand in every module drifted
-# into near-identical copies; these two builders are the single source.
+# live P2PSystem on top.  These builders delegate to the repro.api
+# facade (the single source of that pipeline) and keep the historical
+# tuple-returning signatures the test modules use.
 
-from repro.core.maxfair import maxfair  # noqa: E402
-from repro.core.popularity import build_category_stats  # noqa: E402
-from repro.core.replication import plan_replication  # noqa: E402
-from repro.model.workload import zipf_category_scenario  # noqa: E402
-from repro.overlay.system import P2PSystem  # noqa: E402
+from repro import api  # noqa: E402
 
 
 def build_world(
@@ -144,16 +141,12 @@ def build_world(
 ):
     """``(instance, assignment, plan)`` for a scaled Zipf scenario.
 
-    ``with_stats`` routes the assignment through explicitly built
-    category statistics (the historical spelling some tests pinned).
+    ``with_stats`` is kept for callers that pinned the historical
+    explicit-statistics spelling; both spellings produce the same
+    assignment, and the facade always routes through explicit stats.
     """
-    instance = zipf_category_scenario(scale=scale, seed=seed)
-    if with_stats:
-        assignment = maxfair(instance, stats=build_category_stats(instance))
-    else:
-        assignment = maxfair(instance)
-    plan = plan_replication(instance, assignment, n_reps=n_reps, hot_mass=hot_mass)
-    return instance, assignment, plan
+    del with_stats
+    return api.build_world(scale=scale, seed=seed, n_reps=n_reps, hot_mass=hot_mass)
 
 
 def build_live_system(
@@ -167,10 +160,13 @@ def build_live_system(
     hot_mass: float = 0.35,
 ):
     """``(instance, system)``: a booted :class:`P2PSystem` on a fresh world."""
-    instance, assignment, plan = build_world(
-        scale, seed, with_stats=with_stats, n_reps=n_reps, hot_mass=hot_mass
+    del with_stats
+    system = api.build_system(
+        scale=scale,
+        seed=seed,
+        n_reps=n_reps,
+        hot_mass=hot_mass,
+        replicate=with_plan,
+        system_config=config,
     )
-    system = P2PSystem(
-        instance, assignment, plan=plan if with_plan else None, config=config
-    )
-    return instance, system
+    return system.instance, system

@@ -1,0 +1,83 @@
+"""Tests for the repro.api facade."""
+
+import pytest
+
+from repro import api
+
+
+class TestBuildSystem:
+    def test_default_pipeline(self):
+        system = api.build_system(scale=0.02, seed=31)
+        assert isinstance(system, api.P2PSystem)
+        assert system.plan is not None
+        assert system.instance.documents
+        assert system.assignment.is_complete()
+
+    def test_replicate_false_skips_plan(self):
+        system = api.build_system(scale=0.02, seed=31, replicate=False)
+        assert system.plan is None
+
+    def test_explicit_config(self):
+        config = api.SystemConfig(
+            n_docs=400, n_nodes=60, n_categories=10, n_clusters=3, seed=5
+        )
+        system = api.build_system(config)
+        assert len(system.instance.documents) == 400
+        assert system.assignment.n_clusters == 3
+
+    def test_system_config_passthrough(self):
+        system = api.build_system(
+            scale=0.02,
+            seed=31,
+            system_config=api.P2PSystemConfig(cache_capacity=4, seed=2),
+        )
+        assert system.config.cache_capacity == 4
+
+    def test_build_world_matches_build_system(self):
+        instance, assignment, plan = api.build_world(scale=0.02, seed=31)
+        system = api.build_system(scale=0.02, seed=31)
+        assert set(instance.documents) == set(system.instance.documents)
+        assert (
+            assignment.category_to_cluster.tolist()
+            == system.assignment.category_to_cluster.tolist()
+        )
+        assert plan.hot_doc_ids == system.plan.hot_doc_ids
+
+    def test_workload_round_trip(self):
+        system = api.build_system(scale=0.02, seed=31)
+        workload = api.make_query_workload(system.instance, 50, seed=3)
+        outcomes = system.run_workload(workload)
+        assert len(outcomes) == 50
+
+
+class TestExperiments:
+    def test_run_experiment_case_insensitive(self):
+        result = api.run_experiment("t3")
+        assert result.name == "T3"
+        assert "T3" in api.format_experiment(result)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            api.run_experiment("nope")
+
+    def test_unknown_param(self):
+        with pytest.raises(TypeError, match="does not accept"):
+            api.run_experiment("T3", banana=1)
+
+    def test_list_experiments(self):
+        listing = api.list_experiments()
+        assert "F2" in listing and "FUZZ" in listing
+        assert all(description for description in listing.values())
+
+
+class TestBenchmarks:
+    def test_run_benchmarks_subset(self):
+        results = api.run_benchmarks(
+            ["zipf_sampling"], suite="micro", size=0.02, repeats=2, warmup=0
+        )
+        assert [r.name for r in results] == ["zipf_sampling"]
+        assert results[0].repeats == 2
+
+    def test_curated_all_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None

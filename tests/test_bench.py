@@ -1,0 +1,218 @@
+"""Tests for the repro.bench subsystem: schema, harness, regression gate.
+
+The schema goldens pin keys, units, and repeat counts — never timings,
+which vary by machine.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import macro, micro
+from repro.bench.cli import DEFAULT_OUT, collect_specs, main, write_report
+from repro.bench.core import (
+    SCHEMA,
+    BenchResult,
+    BenchSpec,
+    compare_results,
+    run_spec,
+    run_specs,
+)
+
+RESULT_KEYS = {
+    "name", "kind", "unit", "repeats", "warmup",
+    "best_s", "median_s", "mean_s", "stddev_s", "extra",
+}
+
+MICRO_NAMES = {"engine_event_churn", "network_send_deliver", "zipf_sampling"}
+MACRO_NAMES = {
+    "figure2_end_to_end", "scaling_sweep", "fuzz_steps", "loss_experiment",
+}
+
+
+class TestSpecs:
+    def test_micro_suite_names(self):
+        specs = micro.specs(size=0.1)
+        assert {s.name for s in specs} == MICRO_NAMES
+        assert all(s.kind == "micro" for s in specs)
+
+    def test_macro_suite_names(self):
+        specs = macro.specs()
+        assert {s.name for s in specs} == MACRO_NAMES
+        assert all(s.kind == "macro" for s in specs)
+
+    def test_macro_figure2_is_best_of_five(self):
+        (fig2,) = [s for s in macro.specs() if s.name == "figure2_end_to_end"]
+        assert fig2.repeats == 5  # the acceptance criterion is best-of-5
+
+    def test_all_specs_have_descriptions_and_units(self):
+        for spec in micro.specs(size=0.1) + macro.specs():
+            assert spec.description
+            assert spec.unit
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            BenchSpec(name="x", kind="nano", description="d", unit="s",
+                      fn=lambda: None)
+        with pytest.raises(ValueError):
+            BenchSpec(name="x", kind="micro", description="d", unit="s",
+                      fn=lambda: None, repeats=0)
+
+    def test_collect_specs_suites_and_filter(self):
+        assert {s.name for s in collect_specs("all", size=0.1)} == (
+            MICRO_NAMES | MACRO_NAMES
+        )
+        only = collect_specs("micro", size=0.1, names=["zipf_sampling"])
+        assert [s.name for s in only] == ["zipf_sampling"]
+        with pytest.raises(ValueError):
+            collect_specs("micro", names=["nope"])
+        with pytest.raises(ValueError):
+            collect_specs("nano")
+
+
+class TestHarness:
+    def test_run_spec_result_shape(self):
+        spec = BenchSpec(
+            name="noop", kind="micro", description="d", unit="s",
+            fn=lambda: {"work": 3}, repeats=4, warmup=2,
+        )
+        result = run_spec(spec)
+        assert isinstance(result, BenchResult)
+        assert result.repeats == 4 and result.warmup == 2
+        assert result.best_s <= result.median_s
+        assert result.stddev_s >= 0.0
+        assert result.extra["work"] == 3
+
+    def test_run_specs_overrides_counts(self):
+        spec = BenchSpec(name="noop", kind="micro", description="d",
+                         unit="s", fn=lambda: None)
+        (result,) = run_specs([spec], repeats=2, warmup=0)
+        assert result.repeats == 2 and result.warmup == 0
+
+    def test_result_dict_keys(self):
+        spec = BenchSpec(name="noop", kind="micro", description="d",
+                         unit="s", fn=lambda: None, repeats=2, warmup=0)
+        assert set(run_spec(spec).to_dict()) == RESULT_KEYS
+
+
+class TestReportSchema:
+    def test_report_schema_golden(self, tmp_path):
+        """Keys, units, and repeat counts of the written report — the
+        stable contract read across PRs.  Timings are never asserted."""
+        results = run_specs(
+            collect_specs("micro", size=0.02), repeats=2, warmup=0
+        )
+        out = tmp_path / "BENCH_core.json"
+        write_report(out, results, suite="micro", size=0.02)
+        report = json.loads(out.read_text())
+        assert set(report) == {"schema", "suite", "size", "scale", "results"}
+        assert report["schema"] == SCHEMA == "repro.bench/v1"
+        assert set(report["scale"]) == {"algo", "des"}
+        by_name = {r["name"]: r for r in report["results"]}
+        assert set(by_name) == MICRO_NAMES
+        for entry in by_name.values():
+            assert set(entry) == RESULT_KEYS
+            assert entry["repeats"] == 2
+        assert by_name["zipf_sampling"]["unit"].startswith("s / ")
+        assert "samples_per_s" in by_name["zipf_sampling"]["extra"]
+        assert "events_per_s" in by_name["engine_event_churn"]["extra"]
+        assert "messages_per_s" in by_name["network_send_deliver"]["extra"]
+
+    def test_committed_baseline_matches_schema(self):
+        """The committed BENCH_core.json (if present) parses and carries
+        the acceptance-criterion figure2 speedup."""
+        from pathlib import Path
+
+        baseline = Path(__file__).resolve().parents[1] / DEFAULT_OUT
+        if not baseline.is_file():
+            pytest.skip("no committed BENCH_core.json")
+        report = json.loads(baseline.read_text())
+        assert report["schema"] == SCHEMA
+        by_name = {r["name"]: r for r in report["results"]}
+        assert MICRO_NAMES | MACRO_NAMES <= set(by_name)
+        fig2 = by_name["figure2_end_to_end"]
+        assert fig2["repeats"] == 5
+        assert fig2["extra"]["pre_pr_best_s"] > 0
+        assert fig2["extra"]["speedup_vs_pre_pr"] >= 1.25
+
+
+class TestCompare:
+    def _result(self, name, median):
+        return BenchResult(
+            name=name, kind="micro", unit="s", repeats=3, warmup=1,
+            best_s=median, median_s=median, mean_s=median, stddev_s=0.0,
+            extra={},
+        )
+
+    def _baseline(self, medians):
+        return {
+            "schema": SCHEMA,
+            "results": [
+                self._result(name, median).to_dict()
+                for name, median in medians.items()
+            ],
+        }
+
+    def test_regression_detected(self):
+        current = [self._result("a", 2.0), self._result("b", 1.0)]
+        baseline = self._baseline({"a": 1.0, "b": 1.0, "gone": 1.0})
+        regressions, skipped = compare_results(
+            current, baseline, max_regress_pct=25.0
+        )
+        assert [r.name for r in regressions] == ["a"]
+        assert regressions[0].regress_pct == pytest.approx(100.0)
+        assert skipped == ["gone"]
+
+    def test_within_threshold_passes(self):
+        current = [self._result("a", 1.2)]
+        regressions, _ = compare_results(
+            current, self._baseline({"a": 1.0}), max_regress_pct=25.0
+        )
+        assert regressions == []
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list", "--suite", "all"]) == 0
+        out = capsys.readouterr().out
+        for name in MICRO_NAMES | MACRO_NAMES:
+            assert name in out
+
+    def test_run_and_compare_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_core.json"
+        args = ["--suite", "micro", "--only", "zipf_sampling",
+                "--size", "0.02", "--repeats", "2", "--warmup", "0"]
+        assert main(args + ["--out", str(out)]) == 0
+        assert json.loads(out.read_text())["schema"] == SCHEMA
+        # comparing a fresh run against itself stays under any threshold
+        # wide enough for timing noise
+        assert main(
+            args + ["--out", "-", "--compare", str(out),
+                    "--max-regress", "400"]
+        ) == 0
+        capsys.readouterr()
+
+    def test_compare_flags_regression(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_core.json"
+        args = ["--suite", "micro", "--only", "zipf_sampling",
+                "--size", "0.02", "--repeats", "2", "--warmup", "0"]
+        assert main(args + ["--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        # Doctor the baseline to be impossibly fast: the fresh run must
+        # then count as a regression.
+        for entry in report["results"]:
+            entry["median_s"] = entry["median_s"] / 1e6
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(report))
+        assert main(
+            args + ["--out", "-", "--compare", str(doctored)]
+        ) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_compare_rejects_wrong_schema(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "other/v9", "results": []}))
+        with pytest.raises(SystemExit):
+            main(["--suite", "micro", "--only", "zipf_sampling",
+                  "--out", "-", "--compare", str(bad)])
+        capsys.readouterr()
