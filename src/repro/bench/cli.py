@@ -71,6 +71,35 @@ def write_report(
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
 
+def _validate_baseline(baseline) -> str | None:
+    """Why ``baseline`` cannot be compared against, or None when it can.
+
+    The check runs before any benchmark is measured, so a stale or
+    hand-mangled baseline fails fast with a message naming the defect
+    instead of surfacing as a KeyError after minutes of timing runs.
+    """
+    if not isinstance(baseline, dict):
+        return f"expected a JSON object, got {type(baseline).__name__}"
+    if baseline.get("schema") != SCHEMA:
+        return f"schema is {baseline.get('schema')!r}, expected {SCHEMA!r}"
+    results = baseline.get("results")
+    if not isinstance(results, list):
+        return f"'results' must be a list, got {type(results).__name__}"
+    for index, entry in enumerate(results):
+        if not isinstance(entry, dict):
+            return (
+                f"results[{index}] must be an object, "
+                f"got {type(entry).__name__}"
+            )
+        name = entry.get("name")
+        if not isinstance(name, str):
+            return f"results[{index}] has no string 'name' field"
+        median = entry.get("median_s")
+        if not isinstance(median, (int, float)) or isinstance(median, bool):
+            return f"results[{index}] ({name!r}) has no numeric 'median_s'"
+    return None
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -136,11 +165,18 @@ def main(argv=None) -> int:
         baseline_path = Path(args.compare)
         if not baseline_path.is_file():
             parser.error(f"--compare baseline not found: {baseline_path}")
-        baseline = json.loads(baseline_path.read_text())
-        if baseline.get("schema") != SCHEMA:
+        try:
+            baseline = json.loads(baseline_path.read_text())
+        except json.JSONDecodeError as error:
             parser.error(
-                f"--compare baseline has schema "
-                f"{baseline.get('schema')!r}, expected {SCHEMA!r}"
+                f"--compare baseline {baseline_path} is not valid JSON "
+                f"({error}) — regenerate it with `python -m repro.bench`"
+            )
+        error = _validate_baseline(baseline)
+        if error is not None:
+            parser.error(
+                f"--compare baseline {baseline_path} schema mismatch: "
+                f"{error} — regenerate it with `python -m repro.bench`"
             )
 
     results = run_specs(

@@ -189,10 +189,23 @@ def compare_results(
     Matching is by benchmark name on the median (more noise-robust than
     the best).  Returns the regressions beyond ``max_regress_pct`` and
     the names present in only one of the two reports (skipped).
+
+    Raises :class:`ValueError` (not KeyError) when the baseline does not
+    follow the report schema; the CLI validates before measuring, so
+    this guards direct library callers.
     """
-    baseline_by_name = {
-        entry["name"]: entry for entry in baseline.get("results", [])
-    }
+    entries = baseline.get("results", []) if isinstance(baseline, dict) else None
+    if not isinstance(entries, list) or any(
+        not isinstance(entry, dict)
+        or "name" not in entry
+        or "median_s" not in entry
+        for entry in entries
+    ):
+        raise ValueError(
+            "baseline does not match the repro.bench/v1 report schema "
+            "(expected {'results': [{'name': ..., 'median_s': ...}, ...]})"
+        )
+    baseline_by_name = {entry["name"]: entry for entry in entries}
     regressions: list[Regression] = []
     skipped: list[str] = []
     seen = set()

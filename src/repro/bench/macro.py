@@ -9,7 +9,7 @@ reduced sizes so the whole macro suite stays in CI-friendly wall time.
 from __future__ import annotations
 
 from repro.bench.core import BenchSpec, BenchResult
-from repro.experiments import figure2, fuzz, loss, scaling
+from repro.experiments import figure2, fuzz, loss, overload, scaling
 from repro.experiments.common import default_scale
 
 __all__ = ["specs", "PRE_PR_FIGURE2_BEST_S"]
@@ -28,6 +28,8 @@ _FUZZ_SEEDS = 2
 _FUZZ_STEPS = 40
 _LOSS_QUERIES = 300
 _LOSS_DROPS = (0.0, 0.1)
+_OVERLOAD_LOADS = (1.0, 2.0)
+_OVERLOAD_WINDOW = 2.0
 
 
 def _figure2_post(result: BenchResult) -> dict[str, float]:
@@ -42,6 +44,14 @@ def _fuzz_post(result: BenchResult) -> dict[str, float]:
     if result.median_s <= 0:
         return {}
     return {"fuzz_steps_per_s": total_steps / result.median_s}
+
+
+def _overload_post(result: BenchResult) -> dict[str, float]:
+    # Each load multiple runs one offered window per protection arm.
+    total_windows = len(_OVERLOAD_LOADS) * 2
+    if result.median_s <= 0:
+        return {}
+    return {"overload_windows_per_s": total_windows / result.median_s}
 
 
 def _loss_post(result: BenchResult) -> dict[str, float]:
@@ -105,5 +115,20 @@ def specs() -> list[BenchSpec]:
             repeats=3,
             warmup=1,
             post=_loss_post,
+        ),
+        BenchSpec(
+            name="overload_experiment",
+            kind="macro",
+            description=(
+                f"OVERLOAD experiment, loads {_OVERLOAD_LOADS} x "
+                "(unprotected, protected)"
+            ),
+            unit=f"s / sweep ({_OVERLOAD_WINDOW}s windows)",
+            fn=lambda: overload.run(
+                loads=_OVERLOAD_LOADS, window=_OVERLOAD_WINDOW
+            ),
+            repeats=3,
+            warmup=1,
+            post=_overload_post,
         ),
     ]

@@ -11,6 +11,8 @@ import numpy as np
 
 from repro.bench.core import BenchSpec
 from repro.model.zipf import ZipfSampler
+from repro.overlay.peer import DocInfo, Peer, PeerConfig
+from repro.overlay.service import ServiceConfig
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
 
@@ -70,6 +72,53 @@ def _zipf_fn(n_items: int, n_samples: int):
     return fn
 
 
+def _service_queue_fn(n_queries: int):
+    # The service-queue hot path: every query at the server goes through
+    # offer -> (enqueue | begin) -> complete.  Queries arrive in bursts of
+    # four against a drain budget that clears them, so the run exercises
+    # both the pass-through and the enqueue/dequeue branches without ever
+    # shedding (shedding would make the work data-dependent).
+    service_time = 0.00025
+    burst_interval = 0.0011
+
+    def fn():
+        sim = Simulator()
+        network = Network(sim, base_latency=0.0001, bandwidth=None)
+        rng = np.random.default_rng(99)
+        server = Peer(
+            node_id=1,
+            capacity_units=1.0,
+            network=network,
+            rng=rng,
+            config=PeerConfig(
+                service=ServiceConfig(
+                    enabled=True,
+                    base_service_time=service_time,
+                    queue_capacity=32,
+                )
+            ),
+        )
+        client = Peer(node_id=0, capacity_units=1.0, network=network, rng=rng)
+        server.join_cluster(0, known_members=[1])
+        server.dcrt.set(0, 0)
+        server.store_document(
+            DocInfo(doc_id=1, categories=(0,), size_bytes=1000)
+        )
+        client.dcrt.set(0, 0)
+        client.nrt.add(0, 1)
+        for i in range(n_queries):
+            sim.schedule_at(
+                (i // 4) * burst_interval,
+                lambda q=i: client.start_query(q, 0, 1, target_doc_id=1),
+            )
+        sim.run()
+        snapshot = server.service_snapshot()
+        assert snapshot["processed"] == n_queries, snapshot
+        return {"service_queries_per_s": float(n_queries)}
+
+    return fn
+
+
 def _rate_post(key: str):
     """Turn a work count stashed in ``extra`` into a per-second rate."""
 
@@ -89,6 +138,7 @@ def specs(size: float = 1.0) -> list[BenchSpec]:
     n_events = max(1000, int(20_000 * size))
     n_messages = max(1000, int(10_000 * size))
     n_samples = max(10_000, int(200_000 * size))
+    n_service = max(2000, int(20_000 * size))
     return [
         BenchSpec(
             name="engine_event_churn",
@@ -113,5 +163,13 @@ def specs(size: float = 1.0) -> list[BenchSpec]:
             unit=f"s / {n_samples} samples",
             fn=_zipf_fn(n_items=20_000, n_samples=n_samples),
             post=_rate_post("samples_per_s"),
+        ),
+        BenchSpec(
+            name="service_queue",
+            kind="micro",
+            description="bounded service queue offer/enqueue/complete churn",
+            unit=f"s / {n_service} served queries",
+            fn=_service_queue_fn(n_service),
+            post=_rate_post("service_queries_per_s"),
         ),
     ]

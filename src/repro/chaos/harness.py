@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro import obs
 from repro.chaos.invariants import InvariantChecker, Violation
 from repro.chaos.scenario import Schedule, ScenarioConfig
@@ -23,9 +25,10 @@ from repro.core.maxfair import maxfair
 from repro.core.popularity import build_category_stats
 from repro.core.replication import plan_replication
 from repro.model.system import SystemConfig, build_system
-from repro.model.workload import make_query_workload
+from repro.model.workload import Query, QueryWorkload, make_query_workload
 from repro.overlay.adaptation import broadcast_notice, plan_category_move
 from repro.overlay.peer import DocInfo
+from repro.overlay.service import ServiceConfig
 from repro.overlay.system import P2PSystem, P2PSystemConfig
 from repro.reliability import RELIABLE_KINDS, ReliabilityConfig
 
@@ -104,13 +107,32 @@ class ChaosRunner:
         plan = plan_replication(
             self.instance, assignment, n_reps=config.n_reps, hot_mass=0.35
         )
+        if config.overload:
+            # Overload worlds pair the per-peer service model with the
+            # client-side protections the flash_crowd action stresses.
+            reliability = ReliabilityConfig(
+                enabled=config.reliability,
+                retry_budget_ratio=0.5,
+                breaker_threshold=3,
+                adaptive_timeout=True,
+            )
+            service = ServiceConfig(
+                enabled=True,
+                base_service_time=0.02,
+                queue_capacity=8,
+                policy="redirect",
+            )
+        else:
+            reliability = ReliabilityConfig(enabled=config.reliability)
+            service = ServiceConfig()
         self.system = P2PSystem(
             self.instance,
             assignment,
             plan=plan,
             config=P2PSystemConfig(
                 seed=schedule.seed,
-                reliability=ReliabilityConfig(enabled=config.reliability),
+                reliability=reliability,
+                service=service,
             ),
         )
         # Random loss needs a generator; give the network its own named
@@ -172,6 +194,45 @@ class ChaosRunner:
     def _do_query_burst(self, step: int, n: int, workload_seed: int) -> bool:
         workload = make_query_workload(self.instance, n, seed=workload_seed)
         outcomes = self.system.run_workload(workload)
+        self.report.outcomes_total += len(outcomes)
+        if self.check_invariants:
+            self.checker.check_outcomes(outcomes)
+        return True
+
+    def _do_flash_crowd(
+        self, step: int, category: int, n: int, workload_seed: int
+    ) -> bool:
+        # A synchronized burst aimed at one category's documents, issued
+        # nearly back-to-back so service queues actually fill.  Unlike
+        # query_burst, requesters and targets are drawn from the hot
+        # category only — the regime admission control exists for.
+        alive = self._alive_ids()
+        if not alive:
+            return False
+        category_id = category % self.config.n_categories
+        doc_ids = sorted(
+            doc_id
+            for doc_id, doc in self.instance.documents.items()
+            if category_id in doc.categories
+        )
+        rng = np.random.default_rng(workload_seed)
+        queries = [
+            Query(
+                query_id=index,
+                requester_id=alive[int(rng.integers(0, len(alive)))],
+                target_doc_id=(
+                    doc_ids[int(rng.integers(0, len(doc_ids)))] if doc_ids else -1
+                ),
+                category_ids=(category_id,),
+                m=1,
+            )
+            for index in range(n)
+        ]
+        outcomes = self.system.run_workload(
+            QueryWorkload(queries=queries),
+            query_interval=0.001,
+            doc_targeted=bool(doc_ids),
+        )
         self.report.outcomes_total += len(outcomes)
         if self.check_invariants:
             self.checker.check_outcomes(outcomes)

@@ -37,8 +37,25 @@ drained*, no matter what faults the scenario injected:
     fairness trace is monotone non-decreasing (MaxFair only accepts
     improving moves).
 
-Structural checks (the first five) run from the simulator's quiescence
-hook; the last three are event-driven, invoked by the harness when a
+When the world runs with the per-peer service model enabled
+(:attr:`P2PSystem.overload_enabled`), four more structural checks join
+the quiescence set:
+
+``service-queue-bound``
+    No service queue ever held more queries than its configured
+    capacity — admission control cannot be bypassed.
+``overload-conservation``
+    Per queue, ``offered == processed + shed + redirected + queued +
+    in_service``: every admitted query is accounted for exactly once.
+``overload-drain``
+    At quiescence no query is still queued or in service; the service
+    model never wedges the run-to-quiescence contract.
+``retry-budget-no-overdraft``
+    No reliable channel's per-destination retry budget ever goes
+    negative — retries cannot outrun the token bucket.
+
+Structural checks run from the simulator's quiescence hook; the last
+three of the base set are event-driven, invoked by the harness when a
 workload, convergence window, or adaptation round completes.
 """
 
@@ -52,7 +69,12 @@ from repro import obs
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.overlay.system import P2PSystem
 
-__all__ = ["Violation", "InvariantChecker", "STRUCTURAL_INVARIANTS"]
+__all__ = [
+    "Violation",
+    "InvariantChecker",
+    "STRUCTURAL_INVARIANTS",
+    "OVERLOAD_INVARIANTS",
+]
 
 #: invariants evaluated at every quiescent step (vs. event-driven ones).
 STRUCTURAL_INVARIANTS = (
@@ -62,6 +84,14 @@ STRUCTURAL_INVARIANTS = (
     "holder-consistency",
     "membership-consistency",
     "exactly-once-effects",
+)
+
+#: extra structural invariants checked when the service model is enabled.
+OVERLOAD_INVARIANTS = (
+    "service-queue-bound",
+    "overload-conservation",
+    "overload-drain",
+    "retry-budget-no-overdraft",
 )
 
 _EPS = 1e-9
@@ -143,6 +173,13 @@ class InvariantChecker:
         self._run("holder-consistency", self._check_holders)
         self._run("membership-consistency", self._check_membership)
         self._run("exactly-once-effects", self._check_exactly_once)
+        # Overload invariants are gated so default worlds (service model
+        # off) keep their exact check counts — and their metric goldens.
+        if self.system.overload_enabled:
+            self._run("service-queue-bound", self._check_service_queue_bound)
+            self._run("overload-conservation", self._check_overload_conservation)
+            self._run("overload-drain", self._check_overload_drain)
+            self._run("retry-budget-no-overdraft", self._check_retry_budgets)
 
     def _check_unique_ownership(self):
         assignment = self.system.assignment
@@ -248,6 +285,56 @@ class InvariantChecker:
                         f"node {peer.node_id} applied delivery "
                         f"{delivery_id} from node {src} {count} times"
                     )
+
+    def _service_snapshots(self):
+        for peer in self.system.alive_peers():
+            snapshot = peer.service_snapshot()
+            if snapshot is not None:
+                yield peer.node_id, snapshot
+
+    def _check_service_queue_bound(self):
+        for node_id, snap in self._service_snapshots():
+            capacity = snap["capacity"]
+            if capacity > 0 and snap["max_depth"] > capacity:
+                yield (
+                    f"node {node_id} service queue reached depth "
+                    f"{snap['max_depth']} with capacity {capacity}"
+                )
+
+    def _check_overload_conservation(self):
+        for node_id, snap in self._service_snapshots():
+            accounted = (
+                snap["processed"]
+                + snap["shed"]
+                + snap["redirected"]
+                + snap["depth"]
+                + (1 if snap["in_service"] else 0)
+            )
+            if accounted != snap["offered"]:
+                yield (
+                    f"node {node_id} service queue leaks queries: offered "
+                    f"{snap['offered']} but accounted for {accounted} "
+                    f"(processed {snap['processed']}, shed {snap['shed']}, "
+                    f"redirected {snap['redirected']}, queued {snap['depth']}, "
+                    f"in_service {snap['in_service']})"
+                )
+
+    def _check_overload_drain(self):
+        for node_id, snap in self._service_snapshots():
+            if snap["depth"] or snap["in_service"]:
+                yield (
+                    f"node {node_id} still has {snap['depth']} queued and "
+                    f"in_service={snap['in_service']} at quiescence"
+                )
+
+    def _check_retry_budgets(self):
+        for peer in self.system.alive_peers():
+            minimum = peer.channel.min_budget_tokens()
+            if minimum is not None and minimum < -_EPS:
+                yield (
+                    f"node {peer.node_id} overdrew a retry budget to "
+                    f"{minimum} tokens"
+                )
 
     # ------------------------------------------------------------------
     # event-driven checks

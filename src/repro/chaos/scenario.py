@@ -19,7 +19,14 @@ from dataclasses import dataclass, field
 
 from repro.sim.rng import RngRegistry
 
-__all__ = ["ScenarioConfig", "ScheduleEntry", "Schedule", "generate_schedule"]
+__all__ = [
+    "DEFAULT_ACTION_WEIGHTS",
+    "OVERLOAD_ACTION_WEIGHTS",
+    "ScenarioConfig",
+    "ScheduleEntry",
+    "Schedule",
+    "generate_schedule",
+]
 
 #: (action, weight) pairs the generator draws from.  Weights favour the
 #: traffic actions (queries, gossip) that *detect* divergence over the
@@ -38,6 +45,15 @@ DEFAULT_ACTION_WEIGHTS: tuple[tuple[str, float], ...] = (
     ("adapt", 0.75),
     ("ack_loss", 0.75),
     ("retry_storm", 0.75),
+)
+
+#: the default weights plus the overload-specific actions.  Kept separate
+#: (opt-in via ``ScenarioConfig(overload=True,
+#: action_weights=OVERLOAD_ACTION_WEIGHTS)``) because appending an action
+#: to the default tuple would change every existing schedule's RNG draws
+#: — and with them the recorded goldens and replayable reproducers.
+OVERLOAD_ACTION_WEIGHTS: tuple[tuple[str, float], ...] = (
+    DEFAULT_ACTION_WEIGHTS + (("flash_crowd", 2.0),)
 )
 
 
@@ -69,6 +85,13 @@ class ScenarioConfig:
     #: run the world with the ack/retry reliability layer enabled, so
     #: chaos exercises retransmission and duplicate-suppression paths.
     reliability: bool = True
+    #: build the world with the per-peer service model plus client-side
+    #: overload protections (retry budgets, circuit breakers, adaptive
+    #: timeouts) enabled.  Pair with ``OVERLOAD_ACTION_WEIGHTS`` so
+    #: ``flash_crowd`` entries appear in generated schedules.
+    overload: bool = False
+    #: queries per ``flash_crowd`` entry are drawn from [30, this].
+    flash_crowd_max: int = 100
     action_weights: tuple[tuple[str, float], ...] = DEFAULT_ACTION_WEIGHTS
 
 
@@ -163,6 +186,14 @@ def _draw_params(action: str, rng, config: ScenarioConfig) -> dict:
         # Drop only acks: every reliable message arrives, every receipt
         # confirmation may not — the pure duplicate-delivery regime.
         return {"probability": round(float(rng.uniform(0.1, 0.5)), 3)}
+    if action == "flash_crowd":
+        # A synchronized burst of document retrievals concentrated on one
+        # category — the hot-spot regime the admission policies exist for.
+        return {
+            "category": int(rng.integers(0, config.n_categories)),
+            "n": int(rng.integers(30, config.flash_crowd_max + 1)),
+            "workload_seed": int(rng.integers(0, 2**31 - 1)),
+        }
     if action == "retry_storm":
         # Drop reliable request kinds hard enough to force retransmission
         # chains (and some give-ups) across many concurrent deliveries.

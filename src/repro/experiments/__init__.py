@@ -17,6 +17,7 @@
 | X3 | rebalancing granularity (fw item vi)        | ``granularity``   |
 | FUZZ | chaos fuzzing + invariant checks (no fig.) | ``fuzz``          |
 | LOSS | query delivery vs message loss (no fig.)   | ``loss``          |
+| OVERLOAD | goodput vs offered load, shedding on/off | ``overload``  |
 
 The X rows implement the paper's explicit future-work items ("fw").
 Each module exposes ``run(...) -> <Result>`` and ``format_result(result)``.
@@ -38,6 +39,7 @@ from repro.experiments import (  # noqa: F401  (re-exported for discovery)
     granularity,
     intra_cluster,
     loss,
+    overload,
     rebalance_cost,
     scaling,
     storage,
@@ -66,6 +68,7 @@ EXPERIMENTS = {
     "X3": granularity,
     "FUZZ": fuzz,
     "LOSS": loss,
+    "OVERLOAD": overload,
 }
 
 #: experiment id -> :class:`ExperimentSpec`; the CLI and the

@@ -135,6 +135,16 @@ def add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
             "seed violates an invariant (nothing is written on success)"
         ),
     )
+    parser.add_argument(
+        "--overload-actions",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "fuzz only: enable the per-peer service model plus overload "
+            "protections and add flash_crowd entries (and the overload "
+            "invariants) to generated schedules"
+        ),
+    )
 
 
 def precheck_output_path(path: str | None, flag: str) -> str | None:

@@ -28,6 +28,7 @@ from repro.chaos import (
     run_schedule,
     shrink,
 )
+from repro.chaos.scenario import OVERLOAD_ACTION_WEIGHTS
 from repro.experiments.registry import experiment_spec
 
 __all__ = ["FuzzResult", "run", "format_result"]
@@ -41,6 +42,8 @@ class FuzzResult:
     n_seeds: int
     n_steps: int
     check_invariants: bool
+    #: True when the sweep ran overload worlds with flash_crowd actions.
+    overload: bool = False
     reports: list[ChaosReport] = field(default_factory=list)
     #: shrunk reproducer for the first failing seed (None when all pass).
     minimal_repro: str | None = None
@@ -70,9 +73,16 @@ def run(
     steps: int | None = None,
     check_invariants: bool = True,
     shrink_failing: bool = True,
+    overload: bool = False,
     scale: float | None = None,
 ) -> FuzzResult:
     """Fuzz ``seeds`` consecutive seeds starting at ``seed``.
+
+    With ``overload`` the worlds are built with the per-peer service model
+    and client-side overload protections enabled, and generated schedules
+    may include ``flash_crowd`` entries (plus the four overload
+    invariants); the default action mix is untouched so existing seeds
+    replay identically.
 
     ``scale`` is accepted for CLI uniformity but ignored: the chaos world
     uses a fixed multi-cluster configuration — paper-scale knobs collapse
@@ -80,12 +90,19 @@ def run(
     and rebalance invariants vacuous.
     """
     del scale
-    config = ScenarioConfig() if steps is None else ScenarioConfig(n_steps=steps)
+    kwargs: dict = {}
+    if steps is not None:
+        kwargs["n_steps"] = steps
+    if overload:
+        kwargs["overload"] = True
+        kwargs["action_weights"] = OVERLOAD_ACTION_WEIGHTS
+    config = ScenarioConfig(**kwargs)
     result = FuzzResult(
         base_seed=seed,
         n_seeds=seeds,
         n_steps=config.n_steps,
         check_invariants=check_invariants,
+        overload=overload,
     )
     for fuzz_seed in range(seed, seed + seeds):
         schedule = generate_schedule(fuzz_seed, config)
@@ -108,6 +125,7 @@ def format_result(result: FuzzResult) -> str:
         f"{result.base_seed + result.n_seeds - 1}, "
         f"{result.n_steps} scheduled steps each, invariants "
         f"{'on' if result.check_invariants else 'off'}"
+        + (", overload actions on" if result.overload else "")
     ]
     for report in result.reports:
         lines.append(f"  {report.summary()}")

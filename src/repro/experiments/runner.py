@@ -116,6 +116,7 @@ def main(argv: list[str] | None = None) -> int:
             if exp_id == "FUZZ":
                 kwargs["seeds"] = args.fuzz_seeds
                 kwargs["check_invariants"] = args.check_invariants
+                kwargs["overload"] = args.overload_actions
                 if args.steps is not None:
                     kwargs["steps"] = args.steps
             with obs.Timer(obs.histogram(f"experiment.{exp_id.lower()}_s")):

@@ -22,6 +22,7 @@ __all__ = [
     "QueryMessage",
     "QueryResponse",
     "QueryMiss",
+    "Busy",
     "PublishRequest",
     "PublishReply",
     "JoinRequest",
@@ -105,6 +106,21 @@ class QueryMiss:
     query_id: int
     responder_id: int
     hops: int
+
+
+@dataclass(frozen=True, slots=True)
+class Busy:
+    """Overload signal: the responder shed the query instead of serving it.
+
+    Sent fire-and-forget (never through the reliable channel — retrying
+    an overload signal at an overloaded node would be self-defeating).
+    ``retry_after`` is the responder's back-off hint; the requester waits
+    at least that long before failing over to another cluster member.
+    """
+
+    query_id: int
+    responder_id: int
+    retry_after: float
 
 
 @dataclass(frozen=True, slots=True)

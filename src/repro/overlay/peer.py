@@ -43,6 +43,7 @@ from repro.reliability.channel import (
     ReliabilityConfig,
     ReliableChannel,
 )
+from repro.overlay.service import ServiceConfig, ServiceQueue
 from repro.reliability.detector import FailureDetector
 from repro.sim.network import Message, Network
 
@@ -88,6 +89,9 @@ class PeerConfig:
     #: ack/retry channel, query failover, and failure-detector knobs
     #: (off by default — protocols stay fire-and-forget).
     reliability: ReliabilityConfig = ReliabilityConfig()
+    #: per-peer service model: finite service rate, bounded intake queue,
+    #: and admission control (off by default — serving stays instant).
+    service: ServiceConfig = ServiceConfig()
 
 
 class PeerHooks:
@@ -261,6 +265,14 @@ class Peer:
             on_give_up=self._on_delivery_give_up,
         )
         self.detector = FailureDetector(node_id, network, self._reliability)
+        #: bounded service queue in front of query processing; None keeps
+        #: the historical instant-serve behaviour (and registers none of
+        #: the overload metrics).
+        self._service = (
+            ServiceQueue(self, self.config.service)
+            if self.config.service.enabled
+            else None
+        )
 
         #: recently seen query ids (loop detection), LRU-bounded.
         self._seen_queries: "OrderedDict[int, None]" = OrderedDict()
@@ -288,6 +300,7 @@ class Peer:
         self._dispatch = {
             "query": self._handle_query,
             "query_response": self._handle_query_response,
+            "busy": self._handle_busy,
             "publish_request": self._handle_publish_request,
             "publish_reply": self._handle_publish_reply,
             "join_request": self._handle_join_request,
@@ -436,6 +449,22 @@ class Peer:
             if pending.waiting_queries
         }
 
+    def service_snapshot(self) -> dict | None:
+        """Service-queue accounting, or None when the model is disabled."""
+        return None if self._service is None else self._service.snapshot()
+
+    def clear_failure_state(self) -> None:
+        """Forget pre-crash liveness evidence; called when this node heals.
+
+        While the node was crashed its already-armed retry and probe
+        timers kept firing with no acks or pongs able to arrive, so it
+        accrued suspicion of peers that were fine all along.  Rejoining
+        with that stale suspect set would make the healed node silently
+        drop queries it should forward (NRT selection excludes suspects).
+        """
+        self.detector.reset()
+        self.channel.cancel_all()
+
     def join_cluster(self, cluster_id: int, known_members: Iterable[int] = ()) -> None:
         """Become a member of ``cluster_id`` and learn some fellows."""
         newly = cluster_id not in self.memberships
@@ -542,6 +571,7 @@ class Peer:
             return
         state.tried.add(target)
         state.attempts += 1
+        armed_attempts = state.attempts
         self._send(
             target,
             "query",
@@ -560,6 +590,8 @@ class Peer:
             current = self._query_attempts.get(state.query_id)
             if current is not state or state.settled:
                 return  # answered, failed, or superseded
+            if state.attempts != armed_attempts:
+                return  # a BUSY-triggered failover already re-dispatched
             if state.attempts >= self._reliability.query_attempts:
                 self._query_attempts.pop(state.query_id, None)
                 self._fail_query(state.query_id, "deadline-exhausted")
@@ -617,6 +649,22 @@ class Peer:
                 )
             return
 
+        if self._service is not None:
+            # Member-side work (serving, replica lookups, graph fan-out)
+            # costs service time and intake-queue admission; the routing
+            # above stays instant — forwarding is cheap, serving is not.
+            self._service.offer(query)
+            return
+        self._process_query(query)
+
+    def _process_query(self, query: m.QueryMessage) -> None:
+        """Member-side query work: serve, redirect over metadata, or fan out.
+
+        With the service model enabled this runs at service *completion*
+        (after queueing delay plus ``1/capacity_units`` service time);
+        otherwise it runs inline, exactly as it historically did.
+        """
+        entry = self.dcrt.entry(query.category_id)
         pending = self._pending_transfers.get(query.category_id)
 
         if query.target_doc_id >= 0:
@@ -758,6 +806,99 @@ class Peer:
             for info in response.doc_infos:
                 self._cache_store(info)
         self.hooks.on_query_response(self, response)
+
+    # ------------------------------------------------------------------
+    # overload signals (service model; see repro.overlay.service)
+    # ------------------------------------------------------------------
+    def _redirect_query(self, query: m.QueryMessage) -> bool:
+        """Hand an overflow query to another holder or cluster member.
+
+        The load-based-redirection admission policy: prefer a replica
+        holder of the wanted document (cluster metadata), fall back to a
+        random fellow member (NRT).  Returns False when nobody else is
+        known — the caller sheds instead.
+        """
+        entry = self.dcrt.entry(query.category_id)
+        forwarded = m.QueryMessage(
+            query_id=query.query_id,
+            requester_id=query.requester_id,
+            category_id=query.category_id,
+            remaining=query.remaining,
+            hops=query.hops + 1,
+            target_cluster=query.target_cluster,
+            target_doc_id=query.target_doc_id,
+        )
+        if query.target_doc_id >= 0:
+            holders = [
+                holder
+                for holder in self.hooks.lookup_holders(
+                    self, entry.cluster_id, query.target_doc_id
+                )
+                if holder != self.node_id
+            ]
+            if holders:
+                choice = holders[int(self.rng.integers(0, len(holders)))]
+                self.queries_routed += 1
+                self._send(choice, "query", forwarded)
+                return True
+        target = self.nrt.random_node(
+            entry.cluster_id, self.rng, exclude=self.suspects() | {self.node_id}
+        )
+        if target is not None:
+            self.queries_routed += 1
+            self._send(target, "query", forwarded)
+            return True
+        return False
+
+    def _reject_busy(self, query: m.QueryMessage) -> None:
+        """Shed a query: tell the requester to back off and go elsewhere."""
+        self._send(
+            query.requester_id,
+            "busy",
+            m.Busy(
+                query_id=query.query_id,
+                responder_id=self.node_id,
+                retry_after=self.config.service.busy_retry_after,
+            ),
+        )
+
+    def _handle_busy(self, message: Message) -> None:
+        """An overloaded member shed our query: back off, then fail over."""
+        busy: m.Busy = message.payload
+        state = self._query_attempts.get(busy.query_id)
+        if state is None:
+            # No failover state (reliability off): the shed is terminal.
+            if not self._reliability.enabled:
+                self._fail_query(busy.query_id, "overloaded")
+            return
+        if state.settled:
+            return  # another member already answered
+        if state.attempts >= self._reliability.query_attempts:
+            self._query_attempts.pop(state.query_id, None)
+            self._fail_query(state.query_id, "overloaded")
+            return
+        armed_attempts = state.attempts
+
+        def retry() -> None:
+            current = self._query_attempts.get(state.query_id)
+            if (
+                current is not state
+                or state.settled
+                or state.attempts != armed_attempts
+            ):
+                return  # answered, failed, or another busy/deadline acted
+            _C_QUERY_FAILOVERS.value += 1
+            if _TRACE.enabled:
+                _TRACE.emit(
+                    "query_busy_failover",
+                    t=self.network.sim.now,
+                    node=self.node_id,
+                    query=state.query_id,
+                    shed_by=busy.responder_id,
+                )
+            self._try_query(state)
+
+        self.network.sim.schedule(max(busy.retry_after, 0.0), retry)
 
     def _cache_store(self, info: DocInfo) -> None:
         """Keep a retrieved document as a servable cached replica.

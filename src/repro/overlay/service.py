@@ -1,0 +1,215 @@
+"""Per-peer service model: bounded intake queues and admission control.
+
+The paper's load-balancing machinery (MaxFair assignment, random target
+selection, top-m replication) balances *where* queries land, but assumes
+every node can absorb whatever the overlay routes to it.  This module
+adds the missing capacity model: each peer serves queries one at a time,
+taking ``base_service_time / capacity_units`` simulated seconds per
+query, with a bounded FIFO intake queue in front of the server.
+
+When the queue is full an admission policy decides what to do with the
+overflow:
+
+* ``drop-tail`` — shed the incoming query with a ``BUSY`` signal; the
+  requester backs off and fails over to another cluster member.
+* ``shed-popular`` — compare the incoming query's category popularity
+  (local hit counters) against the hottest queued query and shed the
+  more popular of the two.  Hot content is exactly what top-m
+  replication copies to other nodes, so its requesters have somewhere
+  else to go; cold content may have a single holder.
+* ``redirect`` — hand the overflow query directly to another replica
+  holder (via the cluster metadata) or cluster member (via the NRT),
+  the load-based redirection of Roussopoulos & Baker.
+
+Everything is off by default (``ServiceConfig(enabled=False)``): peers
+serve instantly with unbounded intake, exactly as before, and none of
+the overload metrics are even registered — deterministic metric
+snapshots of non-overload runs stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro import obs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.overlay import messages as m
+    from repro.overlay.peer import Peer
+
+__all__ = ["ADMISSION_POLICIES", "ServiceConfig", "ServiceQueue"]
+
+#: Admission policies a full intake queue can apply to overflow.
+ADMISSION_POLICIES = ("drop-tail", "shed-popular", "redirect")
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Knobs for the per-peer service model (off by default)."""
+
+    #: master switch; off keeps query serving instantaneous and
+    #: unbounded, with zero extra events, RNG draws, or metrics.
+    enabled: bool = False
+    #: simulated seconds one query costs a capacity-1 node; a node with
+    #: ``capacity_units`` serves each query in ``base / capacity_units``
+    #: (Section 4.3.1 units double as a service rate).
+    base_service_time: float = 0.05
+    #: intake queue bound in front of the single server; 0 = unbounded
+    #: (work-conserving but with unbounded waiting — the "protection
+    #: off" arm of the overload experiment).
+    queue_capacity: int = 16
+    #: what to do with overflow when the queue is full.
+    policy: str = "drop-tail"
+    #: back-off hint carried in the BUSY signal sent for shed queries.
+    busy_retry_after: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_service_time <= 0:
+            raise ValueError(
+                f"base_service_time must be > 0, got {self.base_service_time}"
+            )
+        if self.queue_capacity < 0:
+            raise ValueError(
+                f"queue_capacity must be >= 0, got {self.queue_capacity}"
+            )
+        if self.policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"policy must be one of {ADMISSION_POLICIES}, got {self.policy!r}"
+            )
+        if self.busy_retry_after < 0:
+            raise ValueError(
+                f"busy_retry_after must be >= 0, got {self.busy_retry_after}"
+            )
+
+
+class ServiceQueue:
+    """Single-server FIFO queue gating one peer's query processing.
+
+    Constructed only when ``ServiceConfig.enabled`` — the overload
+    metrics below are registered here, lazily, so default-off runs
+    register nothing and deterministic snapshots stay byte-identical.
+
+    Accounting invariant (checked by the chaos harness)::
+
+        offered == processed + shed + redirected + depth + in_service
+    """
+
+    def __init__(self, peer: "Peer", config: ServiceConfig) -> None:
+        self.peer = peer
+        self.config = config
+        #: per-query service time, inversely proportional to capacity.
+        self.service_time = config.base_service_time / max(
+            peer.capacity_units, 1e-9
+        )
+        self._queue: deque["m.QueryMessage"] = deque()
+        self._in_service = False
+        # local accounting (per peer)
+        self.offered = 0
+        self.processed = 0
+        self.shed = 0
+        self.redirected = 0
+        self.max_depth = 0
+        # process-wide totals, shared by every enabled queue
+        self._c_shed = obs.counter("overload.shed")
+        self._c_redirected = obs.counter("overload.redirected")
+        self._c_busy = obs.counter("overload.busy_signals")
+        self._g_depth = obs.gauge("overload.queue_depth")
+
+    # ------------------------------------------------------------------
+    # intake
+    # ------------------------------------------------------------------
+    def offer(self, query: "m.QueryMessage") -> None:
+        """Admit, queue, or shed one incoming query."""
+        self.offered += 1
+        if not self._in_service:
+            self._begin(query)
+            return
+        capacity = self.config.queue_capacity
+        if capacity <= 0 or len(self._queue) < capacity:
+            self._enqueue(query)
+            return
+        self._admit_overflow(query)
+
+    def _enqueue(self, query: "m.QueryMessage") -> None:
+        self._queue.append(query)
+        self._g_depth.value += 1
+        if len(self._queue) > self.max_depth:
+            self.max_depth = len(self._queue)
+
+    def _admit_overflow(self, incoming: "m.QueryMessage") -> None:
+        policy = self.config.policy
+        if policy == "redirect" and self.peer._redirect_query(incoming):
+            self.redirected += 1
+            self._c_redirected.value += 1
+            return
+        victim = incoming
+        if policy == "shed-popular":
+            queued = self._hottest_queued()
+            if queued is not None and self._popularity(
+                queued
+            ) > self._popularity(incoming):
+                # The queued query is for hotter content (replicated
+                # elsewhere by top-m): shed it, keep the cold incoming.
+                self._queue.remove(queued)
+                self._g_depth.value -= 1
+                self._enqueue(incoming)
+                victim = queued
+        self._shed(victim)
+
+    def _popularity(self, query: "m.QueryMessage") -> int:
+        return self.peer.hit_counters.get(query.category_id, 0)
+
+    def _hottest_queued(self) -> "m.QueryMessage | None":
+        if not self._queue:
+            return None
+        return max(self._queue, key=self._popularity)
+
+    def _shed(self, query: "m.QueryMessage") -> None:
+        self.shed += 1
+        self._c_shed.value += 1
+        self._c_busy.value += 1
+        self.peer._reject_busy(query)
+
+    # ------------------------------------------------------------------
+    # the server
+    # ------------------------------------------------------------------
+    def _begin(self, query: "m.QueryMessage") -> None:
+        self._in_service = True
+        self.peer.network.sim.schedule(
+            self.service_time, lambda: self._complete(query)
+        )
+
+    def _complete(self, query: "m.QueryMessage") -> None:
+        self.processed += 1
+        self.peer._process_query(query)
+        if self._queue:
+            self._g_depth.value -= 1
+            self._begin(self._queue.popleft())
+        else:
+            self._in_service = False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def in_service(self) -> bool:
+        return self._in_service
+
+    def snapshot(self) -> dict:
+        """Read-only accounting view for tests and invariant checks."""
+        return {
+            "offered": self.offered,
+            "processed": self.processed,
+            "shed": self.shed,
+            "redirected": self.redirected,
+            "depth": len(self._queue),
+            "in_service": self._in_service,
+            "max_depth": self.max_depth,
+            "capacity": self.config.queue_capacity,
+        }

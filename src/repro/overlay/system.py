@@ -36,6 +36,7 @@ from repro.overlay.adaptation import (
 )
 from repro.overlay.cluster import build_cluster_graph
 from repro.overlay.peer import DocInfo, Peer, PeerConfig, PeerHooks
+from repro.overlay.service import ServiceConfig
 from repro.reliability import ReliabilityConfig
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
@@ -65,6 +66,9 @@ class P2PSystemConfig:
     #: ack/retry channel, query failover, and failure-detector knobs;
     #: pushed into every peer's config (off by default).
     reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
+    #: per-peer service model (finite service rate, bounded intake queue,
+    #: admission control); pushed into every peer's config (off by default).
+    service: ServiceConfig = field(default_factory=ServiceConfig)
     peer: PeerConfig = field(default_factory=PeerConfig)
 
     def __post_init__(self) -> None:
@@ -256,6 +260,7 @@ class P2PSystem:
             nrt_capacity=self.config.nrt_capacity,
             cache_capacity=self.config.cache_capacity,
             reliability=self.config.reliability,
+            service=self.config.service,
         )
 
     def _jitter_rng(self):
@@ -437,6 +442,11 @@ class P2PSystem:
         """Sorted ids of every peer ever created (including departed)."""
         return sorted(self._peers)
 
+    @property
+    def overload_enabled(self) -> bool:
+        """True when peers run the service model (overload invariants apply)."""
+        return self.config.service.enabled
+
     def departed_node_ids(self) -> list[int]:
         """Sorted ids of peers that left or crashed out of the system."""
         return sorted(self._departed)
@@ -612,6 +622,34 @@ class P2PSystem:
         """Fail a node without any goodbye (tests the timeout paths)."""
         self.network.crash(node_id)
         self._departed.add(node_id)
+
+    def recover_node(self, node_id: int) -> Peer:
+        """Heal a crashed node: the inverse of :meth:`crash_node`.
+
+        A crash is a reboot, not a leave — the healed peer keeps its
+        documents and memberships.  What it must *not* keep is the
+        liveness evidence accrued while dark: its armed retry and probe
+        timers kept firing with no acks or pongs able to arrive, so its
+        failure detector accuses peers that were fine all along, and a
+        stale suspect set silently blackholes queries routed through the
+        healed node.  The state is cleared and the node re-announces
+        itself so fellows drop *their* suspicion of it too.
+        """
+        peer = self._peers.get(node_id)
+        if peer is None or node_id not in self._departed:
+            raise ValueError(f"node {node_id} is not a departed member")
+        if node_id not in self.network.crashed_nodes():
+            raise ValueError(
+                f"node {node_id} left gracefully; use join_node to re-admit"
+            )
+        self.network.recover(node_id)
+        self._departed.discard(node_id)
+        self._node_loads_cache = None
+        self._cluster_members_cache = None
+        peer.clear_failure_state()
+        peer.announce_capabilities()
+        self.sim.run()
+        return peer
 
     def join_node(
         self,

@@ -101,6 +101,40 @@ class ReliabilityConfig:
     #: heartbeat targets probed per detector round.
     probe_fanout: int = 3
 
+    # --- client-side overload protection (all off by default) ---
+    #: per-destination retry token bucket: every fresh send deposits this
+    #: many tokens and every retransmission spends one, so sustained
+    #: retries cannot exceed this fraction of fresh traffic.  A delivery
+    #: denied a retry token is dead-lettered instead of retransmitted.
+    #: 0 disables the budget.
+    retry_budget_ratio: float = 0.0
+    #: token-bucket cap (and starting balance): the burst of retries a
+    #: quiet destination may absorb before the ratio governs.
+    retry_budget_cap: float = 8.0
+    #: consecutive delivery give-ups to one destination before its
+    #: circuit opens (new sends dead-lettered immediately, no network
+    #: traffic).  0 disables the breaker.
+    breaker_threshold: int = 0
+    #: simulated seconds an open circuit waits before letting one
+    #: half-open trial delivery through; its fate closes or re-opens.
+    breaker_reset_timeout: float = 10.0
+    #: adapt the per-destination ack-timeout base from observed RTTs
+    #: (Jacobson estimator, Karn-filtered samples) instead of the fixed
+    #: ``ack_timeout`` — overloaded-but-alive peers answer slowly, and a
+    #: fixed base misreads that as loss and retransmits into the queue.
+    adaptive_timeout: bool = False
+    #: lower clamp on the adaptive timeout base.
+    min_ack_timeout: float = 0.1
+
+    @property
+    def overload_protected(self) -> bool:
+        """True when any client-side overload protection is configured."""
+        return (
+            self.retry_budget_ratio > 0.0
+            or self.breaker_threshold > 0
+            or self.adaptive_timeout
+        )
+
     def __post_init__(self) -> None:
         if self.ack_timeout <= 0:
             raise ValueError(f"ack_timeout must be > 0, got {self.ack_timeout}")
@@ -122,6 +156,27 @@ class ReliabilityConfig:
             raise ValueError(
                 f"jitter_fraction must be in [0, 1), got {self.jitter_fraction}"
             )
+        if self.retry_budget_ratio < 0:
+            raise ValueError(
+                f"retry_budget_ratio must be >= 0, got {self.retry_budget_ratio}"
+            )
+        if self.retry_budget_ratio > 0 and self.retry_budget_cap < 1.0:
+            raise ValueError(
+                f"retry_budget_cap must be >= 1, got {self.retry_budget_cap}"
+            )
+        if self.breaker_threshold < 0:
+            raise ValueError(
+                f"breaker_threshold must be >= 0, got {self.breaker_threshold}"
+            )
+        if self.breaker_reset_timeout <= 0:
+            raise ValueError(
+                "breaker_reset_timeout must be > 0, got "
+                f"{self.breaker_reset_timeout}"
+            )
+        if self.min_ack_timeout <= 0:
+            raise ValueError(
+                f"min_ack_timeout must be > 0, got {self.min_ack_timeout}"
+            )
 
 
 @dataclass(slots=True)
@@ -134,6 +189,70 @@ class _Outstanding:
     payload: Any
     size_bytes: int
     attempt: int = 0
+    #: simulated send time of the latest attempt (for RTT sampling).
+    sent_at: float = 0.0
+
+
+@dataclass(slots=True)
+class _RetryBudget:
+    """Per-destination token bucket limiting retransmissions."""
+
+    tokens: float
+
+    def deposit(self, ratio: float, cap: float) -> None:
+        self.tokens = min(self.tokens + ratio, cap)
+
+    def take(self) -> bool:
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(slots=True)
+class _Breaker:
+    """Per-destination circuit breaker keyed on delivery give-ups."""
+
+    state: str = "closed"  # closed | open | half-open
+    failures: int = 0
+    opened_at: float = 0.0
+
+    def allow(self, now: float, reset_timeout: float) -> bool:
+        if self.state == "closed":
+            return True
+        if self.state == "open" and now - self.opened_at >= reset_timeout:
+            self.state = "half-open"
+            return True  # one trial delivery probes the destination
+        return False
+
+    def record_success(self) -> None:
+        self.state = "closed"
+        self.failures = 0
+
+    def record_failure(self, threshold: int, now: float) -> None:
+        self.failures += 1
+        if self.state == "half-open" or self.failures >= threshold:
+            self.state = "open"
+            self.opened_at = now
+
+
+@dataclass(slots=True)
+class _RttEstimator:
+    """Jacobson smoothed-RTT estimator (alpha=1/8, beta=1/4)."""
+
+    srtt: float = -1.0
+    rttvar: float = 0.0
+
+    def observe(self, sample: float) -> None:
+        if self.srtt < 0:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
+            self.srtt = 0.875 * self.srtt + 0.125 * sample
+
+    def timeout(self) -> float:
+        return self.srtt + 4.0 * self.rttvar
 
 
 class ReliableChannel:
@@ -161,6 +280,36 @@ class ReliableChannel:
         self._outstanding: dict[int, _Outstanding] = {}
         #: (src, delivery_id) -> None; LRU window of applied deliveries.
         self._seen: OrderedDict[tuple[int, int], None] = OrderedDict()
+        #: terminal local delivery failures (give-ups plus refused sends
+        #: and retries), regardless of configuration.  Plain attribute so
+        #: unprotected channels pay no metric registration.
+        self.dead_letters = 0
+        # Overload-protection state and metrics exist only when a knob is
+        # on: default configs must register no new process-wide metrics
+        # (deterministic snapshots list every registered metric).
+        self._budgets: dict[int, _RetryBudget] | None = (
+            {} if config.retry_budget_ratio > 0.0 else None
+        )
+        self._breakers: dict[int, _Breaker] | None = (
+            {} if config.breaker_threshold > 0 else None
+        )
+        self._rtt: dict[int, _RttEstimator] | None = (
+            {} if config.adaptive_timeout else None
+        )
+        if config.overload_protected:
+            self._c_dead_letters = obs.counter("reliability.dead_letters")
+            self._c_budget_refused = obs.counter(
+                "reliability.retry_budget_refusals"
+            )
+            self._c_breaker_refused = obs.counter(
+                "reliability.breaker_refusals"
+            )
+            self._g_breakers_open = obs.gauge("reliability.breakers_open")
+        else:
+            self._c_dead_letters = None
+            self._c_budget_refused = None
+            self._c_breaker_refused = None
+            self._g_breakers_open = None
 
     # ------------------------------------------------------------------
     # sender side
@@ -172,7 +321,24 @@ class ReliableChannel:
     def send(
         self, dst: int, kind: str, payload: Any, size_bytes: int = _CONTROL_SIZE
     ) -> int:
-        """Reliably send; returns the delivery id."""
+        """Reliably send; returns the delivery id (-1 when refused).
+
+        With a circuit breaker configured, sends to a destination whose
+        circuit is open are dead-lettered immediately — no delivery id is
+        allocated and nothing touches the network.
+        """
+        if self._breakers is not None:
+            breaker = self._breakers.get(dst)
+            if breaker is not None and not breaker.allow(
+                self.network.sim.now, self.config.breaker_reset_timeout
+            ):
+                self._c_breaker_refused.value += 1
+                self._dead_letter(dst, kind)
+                return -1
+        if self._budgets is not None:
+            self._budget(dst).deposit(
+                self.config.retry_budget_ratio, self.config.retry_budget_cap
+            )
         self._next_delivery_id += 1
         out = _Outstanding(
             delivery_id=self._next_delivery_id,
@@ -186,9 +352,17 @@ class ReliableChannel:
         self._transmit(out)
         return out.delivery_id
 
-    def _attempt_timeout(self, attempt: int) -> float:
+    def _attempt_timeout(self, attempt: int, dst: int = -1) -> float:
+        base = self.config.ack_timeout
+        if self._rtt is not None:
+            estimator = self._rtt.get(dst)
+            if estimator is not None and estimator.srtt >= 0:
+                base = min(
+                    max(estimator.timeout(), self.config.min_ack_timeout),
+                    self.config.max_backoff,
+                )
         timeout = min(
-            self.config.ack_timeout * self.config.backoff_factor**attempt,
+            base * self.config.backoff_factor**attempt,
             self.config.max_backoff,
         )
         if attempt > 0 and self.jitter_rng is not None and self.config.jitter_fraction:
@@ -200,6 +374,7 @@ class ReliableChannel:
         return timeout
 
     def _transmit(self, out: _Outstanding) -> None:
+        out.sent_at = self.network.sim.now
         self.network.send(
             self.node_id,
             out.dst,
@@ -218,19 +393,114 @@ class ReliableChannel:
             if out.attempt + 1 >= self.config.max_attempts:
                 self._outstanding.pop(out.delivery_id, None)
                 _C_GAVE_UP.value += 1
-                if self.on_give_up is not None:
-                    self.on_give_up(out.dst, out.kind)
+                self._note_failure(out.dst)
+                self._dead_letter(out.dst, out.kind)
+                return
+            if self._budgets is not None and not self._budget(out.dst).take():
+                # Out of retry tokens for this destination: retransmitting
+                # would amplify whatever is already wrong there.
+                self._outstanding.pop(out.delivery_id, None)
+                self._c_budget_refused.value += 1
+                self._note_failure(out.dst)
+                self._dead_letter(out.dst, out.kind)
                 return
             out.attempt += 1
             _C_RETRIES.value += 1
             self._transmit(out)
 
-        self.network.sim.schedule(self._attempt_timeout(armed_attempt), on_timeout)
+        self.network.sim.schedule(
+            self._attempt_timeout(armed_attempt, out.dst), on_timeout
+        )
 
     def handle_ack(self, ack: "m.Ack") -> None:
         """Settle the acked delivery (idempotent: late acks are no-ops)."""
-        if self._outstanding.pop(ack.delivery_id, None) is not None:
-            _C_ACKED.value += 1
+        out = self._outstanding.pop(ack.delivery_id, None)
+        if out is None:
+            return
+        _C_ACKED.value += 1
+        self._note_success(out.dst)
+        if self._rtt is not None and out.attempt == 0:
+            # Karn's rule: only unretransmitted deliveries yield samples
+            # (a retried delivery's ack is ambiguous about which attempt
+            # it answers).
+            estimator = self._rtt.get(out.dst)
+            if estimator is None:
+                estimator = _RttEstimator()
+                self._rtt[out.dst] = estimator
+            estimator.observe(self.network.sim.now - out.sent_at)
+
+    def cancel_all(self) -> None:
+        """Drop every in-flight delivery (armed timers become no-ops).
+
+        Used when the owning peer heals after a crash: deliveries armed
+        before the outage are stale evidence, not work worth finishing.
+        """
+        self._outstanding.clear()
+
+    # ------------------------------------------------------------------
+    # overload protection internals
+    # ------------------------------------------------------------------
+    def _budget(self, dst: int) -> _RetryBudget:
+        budget = self._budgets.get(dst)
+        if budget is None:
+            budget = _RetryBudget(tokens=self.config.retry_budget_cap)
+            self._budgets[dst] = budget
+        return budget
+
+    def _dead_letter(self, dst: int, kind: str) -> None:
+        """Account one terminal local delivery failure and tell the peer."""
+        self.dead_letters += 1
+        if self._c_dead_letters is not None:
+            self._c_dead_letters.value += 1
+        if self.on_give_up is not None:
+            self.on_give_up(dst, kind)
+
+    def _note_failure(self, dst: int) -> None:
+        if self._breakers is None:
+            return
+        breaker = self._breakers.get(dst)
+        if breaker is None:
+            breaker = _Breaker()
+            self._breakers[dst] = breaker
+        was_closed = breaker.state == "closed"
+        breaker.record_failure(
+            self.config.breaker_threshold, self.network.sim.now
+        )
+        if was_closed and breaker.state == "open":
+            self._g_breakers_open.value += 1
+
+    def _note_success(self, dst: int) -> None:
+        if self._breakers is None:
+            return
+        breaker = self._breakers.get(dst)
+        if breaker is None:
+            return
+        if breaker.state != "closed":
+            self._g_breakers_open.value -= 1
+        breaker.record_success()
+
+    def breaker_state(self, dst: int) -> str:
+        """The destination's circuit state ('closed' when no breaker)."""
+        if self._breakers is None or dst not in self._breakers:
+            return "closed"
+        return self._breakers[dst].state
+
+    def budget_tokens(self, dst: int) -> float | None:
+        """Remaining retry tokens for ``dst`` (None when budgets are off)."""
+        if self._budgets is None:
+            return None
+        budget = self._budgets.get(dst)
+        return self.config.retry_budget_cap if budget is None else budget.tokens
+
+    def min_budget_tokens(self) -> float | None:
+        """Lowest retry-budget balance across destinations, or None.
+
+        The chaos no-overdraft invariant asserts this never goes
+        negative: a token bucket that lends tokens is not a budget.
+        """
+        if not self._budgets:
+            return None
+        return min(budget.tokens for budget in self._budgets.values())
 
     # ------------------------------------------------------------------
     # receiver side

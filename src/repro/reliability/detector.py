@@ -77,6 +77,21 @@ class FailureDetector:
             self.suspects.add(node_id)
             _C_SUSPECTS.value += 1
 
+    def reset(self) -> None:
+        """Forget all evidence: misses, pending probes, and suspects.
+
+        Called when the owning node heals after a crash.  While it was
+        dark its already-armed probe and retry timers kept firing with no
+        pongs or acks able to arrive, accusing peers that were fine all
+        along; rejoining with that stale suspect set would blackhole the
+        queries and fan-outs routed through this node.
+        """
+        self._misses.clear()
+        self._pending.clear()
+        if self.suspects:
+            _C_CLEARED.value += len(self.suspects)
+            self.suspects.clear()
+
     # ------------------------------------------------------------------
     # active probing
     # ------------------------------------------------------------------

@@ -24,9 +24,13 @@ RESULT_KEYS = {
     "best_s", "median_s", "mean_s", "stddev_s", "extra",
 }
 
-MICRO_NAMES = {"engine_event_churn", "network_send_deliver", "zipf_sampling"}
+MICRO_NAMES = {
+    "engine_event_churn", "network_send_deliver", "zipf_sampling",
+    "service_queue",
+}
 MACRO_NAMES = {
     "figure2_end_to_end", "scaling_sweep", "fuzz_steps", "loss_experiment",
+    "overload_experiment",
 }
 
 
@@ -117,6 +121,7 @@ class TestReportSchema:
         assert "samples_per_s" in by_name["zipf_sampling"]["extra"]
         assert "events_per_s" in by_name["engine_event_churn"]["extra"]
         assert "messages_per_s" in by_name["network_send_deliver"]["extra"]
+        assert "service_queries_per_s" in by_name["service_queue"]["extra"]
 
     def test_committed_baseline_matches_schema(self):
         """The committed BENCH_core.json (if present) parses and carries
@@ -170,6 +175,28 @@ class TestCompare:
         )
         assert regressions == []
 
+    def test_malformed_baseline_raises_value_error(self):
+        """Library callers get ValueError with schema context, never a
+        raw KeyError from a missing field."""
+        current = [self._result("a", 1.0)]
+        malformed = [
+            [],  # not a dict at all
+            {"results": {"a": 1.0}},  # results not a list
+            {"results": [["a", 1.0]]},  # entry not a dict
+            {"results": [{"median_s": 1.0}]},  # entry missing name
+            {"results": [{"name": "a"}]},  # entry missing median_s
+        ]
+        for baseline in malformed:
+            with pytest.raises(ValueError, match="repro.bench/v1"):
+                compare_results(current, baseline, max_regress_pct=25.0)
+
+    def test_empty_results_baseline_is_valid(self):
+        regressions, skipped = compare_results(
+            [self._result("a", 1.0)], {"results": []}, max_regress_pct=25.0
+        )
+        assert regressions == []
+        assert skipped == ["a"]
+
 
 class TestCLI:
     def test_list(self, capsys):
@@ -216,3 +243,60 @@ class TestCLI:
             main(["--suite", "micro", "--only", "zipf_sampling",
                   "--out", "-", "--compare", str(bad)])
         capsys.readouterr()
+
+    # A stale or hand-mangled baseline must fail *before* any benchmark
+    # is measured, with a message naming the defect — not as a raw
+    # KeyError after minutes of timing runs.
+    _ARGS = ["--suite", "micro", "--only", "engine_event_churn",
+             "--size", "0.05", "--repeats", "1", "--warmup", "0", "--out", "-"]
+
+    def _expect_baseline_rejected(self, tmp_path, capsys, payload, fragment):
+        bad = tmp_path / "bad.json"
+        bad.write_text(payload)
+        with pytest.raises(SystemExit) as excinfo:
+            main(self._ARGS + ["--compare", str(bad)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert fragment in err
+        assert "regenerate it" in err
+        assert "KeyError" not in err
+
+    def test_compare_rejects_invalid_json(self, tmp_path, capsys):
+        self._expect_baseline_rejected(
+            tmp_path, capsys, "{not json", "not valid JSON"
+        )
+
+    def test_compare_rejects_non_object_baseline(self, tmp_path, capsys):
+        self._expect_baseline_rejected(
+            tmp_path, capsys, json.dumps([1, 2, 3]), "schema mismatch"
+        )
+
+    def test_compare_rejects_non_list_results(self, tmp_path, capsys):
+        self._expect_baseline_rejected(
+            tmp_path,
+            capsys,
+            json.dumps({"schema": SCHEMA, "results": {"a": 1.0}}),
+            "'results' must be a list",
+        )
+
+    def test_compare_rejects_entry_missing_name(self, tmp_path, capsys):
+        self._expect_baseline_rejected(
+            tmp_path,
+            capsys,
+            json.dumps({"schema": SCHEMA, "results": [{"median_s": 0.5}]}),
+            "no string 'name'",
+        )
+
+    def test_compare_rejects_entry_missing_median(self, tmp_path, capsys):
+        self._expect_baseline_rejected(
+            tmp_path,
+            capsys,
+            json.dumps({"schema": SCHEMA, "results": [{"name": "a"}]}),
+            "no numeric 'median_s'",
+        )
+
+    def test_compare_missing_file_still_errors(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self._ARGS + ["--compare", str(tmp_path / "nope.json")])
+        assert excinfo.value.code == 2
+        assert "not found" in capsys.readouterr().err

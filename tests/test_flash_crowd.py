@@ -1,0 +1,122 @@
+"""Flash-crowd chaos action and the overload fuzzing mode.
+
+Schedule generation stays backward compatible (the default action set is
+untouched — recorded goldens and reproducers replay byte-identically);
+the overload action set rides on top, and overload worlds run the
+service model plus the four overload invariants.
+"""
+
+from repro.chaos.harness import ChaosRunner
+from repro.chaos.invariants import OVERLOAD_INVARIANTS
+from repro.chaos.scenario import (
+    DEFAULT_ACTION_WEIGHTS,
+    OVERLOAD_ACTION_WEIGHTS,
+    ScenarioConfig,
+    generate_schedule,
+)
+from repro.experiments import fuzz
+
+_SMALL_WORLD = dict(
+    n_docs=150, n_nodes=24, n_categories=8, n_clusters=3, min_alive=10
+)
+
+
+class TestActionWeights:
+    def test_default_weights_unchanged(self):
+        # Appending to the default tuple would perturb every recorded
+        # schedule's RNG draws — flash_crowd must stay opt-in.
+        actions = [action for action, _ in DEFAULT_ACTION_WEIGHTS]
+        assert "flash_crowd" not in actions
+        assert len(actions) == 13
+
+    def test_overload_weights_extend_defaults(self):
+        assert OVERLOAD_ACTION_WEIGHTS[: len(DEFAULT_ACTION_WEIGHTS)] == (
+            DEFAULT_ACTION_WEIGHTS
+        )
+        assert OVERLOAD_ACTION_WEIGHTS[-1] == ("flash_crowd", 2.0)
+
+
+class TestScheduleGeneration:
+    def test_flash_crowd_entries_have_bounded_params(self):
+        config = ScenarioConfig(
+            overload=True,
+            action_weights=OVERLOAD_ACTION_WEIGHTS,
+            n_steps=60,
+            **_SMALL_WORLD,
+        )
+        entries = [
+            entry
+            for seed in range(4)
+            for entry in generate_schedule(seed, config).entries
+            if entry.action == "flash_crowd"
+        ]
+        assert entries, "no flash_crowd drawn across 4 seeds"
+        for entry in entries:
+            assert 0 <= entry.params["category"] < config.n_categories
+            assert 30 <= entry.params["n"] <= config.flash_crowd_max
+            assert entry.params["workload_seed"] >= 0
+
+    def test_default_schedules_never_contain_flash_crowd(self):
+        config = ScenarioConfig(n_steps=60, **_SMALL_WORLD)
+        for seed in range(4):
+            schedule = generate_schedule(seed, config)
+            assert all(
+                entry.action != "flash_crowd" for entry in schedule.entries
+            )
+
+
+class TestOverloadWorlds:
+    def test_overload_flag_builds_service_model(self):
+        config = ScenarioConfig(
+            overload=True,
+            action_weights=OVERLOAD_ACTION_WEIGHTS,
+            n_steps=2,
+            **_SMALL_WORLD,
+        )
+        runner = ChaosRunner(generate_schedule(0, config), config)
+        assert runner.system.overload_enabled
+        assert runner.system.config.reliability.overload_protected
+
+    def test_default_worlds_stay_overload_free(self):
+        config = ScenarioConfig(n_steps=2, **_SMALL_WORLD)
+        runner = ChaosRunner(generate_schedule(0, config), config)
+        assert not runner.system.overload_enabled
+
+    def test_flash_crowd_action_issues_and_accounts_queries(self):
+        config = ScenarioConfig(
+            overload=True,
+            action_weights=OVERLOAD_ACTION_WEIGHTS,
+            n_steps=2,
+            **_SMALL_WORLD,
+        )
+        runner = ChaosRunner(generate_schedule(0, config), config)
+        before = runner.report.outcomes_total
+        assert runner._do_flash_crowd(
+            step=0, category=3, n=40, workload_seed=123
+        )
+        assert runner.report.outcomes_total - before == 40
+        served = sum(
+            peer.service_snapshot()["offered"]
+            for peer in runner.system.alive_peers()
+            if peer.service_snapshot() is not None
+        )
+        assert served > 0
+
+
+class TestOverloadFuzz:
+    def test_fuzz_sweep_with_overload_actions_holds_invariants(self):
+        result = fuzz.run(
+            seeds=2, steps=15, overload=True, shrink_failing=False
+        )
+        assert result.overload
+        assert result.failing_seeds == []
+        assert result.total_queries > 0
+        assert "overload actions on" in fuzz.format_result(result)
+
+    def test_overload_invariants_registered(self):
+        assert set(OVERLOAD_INVARIANTS) == {
+            "service-queue-bound",
+            "overload-conservation",
+            "overload-drain",
+            "retry-budget-no-overdraft",
+        }

@@ -1,0 +1,72 @@
+"""OVERLOAD experiment: graceful degradation instead of a goodput cliff.
+
+The headline acceptance run (default window) is deterministic simulated
+time, so the degradation shape itself is asserted: with protections on,
+goodput at twice the saturating load stays near the peak; without them
+the backlog outgrows the SLO and goodput collapses.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, overload
+
+
+class TestStructure:
+    def test_registered(self):
+        assert "OVERLOAD" in EXPERIMENTS
+        assert EXPERIMENTS["OVERLOAD"].EXPERIMENT.name == "OVERLOAD"
+
+    def test_small_run_shape(self):
+        result = overload.run(loads=(1.0, 2.0), window=1.5, seed=11)
+        assert result.seed == 11
+        assert result.window_s == 1.5
+        assert result.saturation_rate > 0
+        assert len(result.rows) == 4  # 2 loads x (unprotected, protected)
+        for load in (1.0, 2.0):
+            for protected in (False, True):
+                row = result.row(load, protected)
+                assert row.n_queries >= 1
+                assert row.offered_rate == pytest.approx(
+                    load * result.saturation_rate
+                )
+                assert 0.0 <= row.timely_rate <= row.success_rate <= 1.0
+                assert row.goodput >= 0.0
+                assert row.drain_s >= 0.0
+        # Only the protected arm can shed or redirect.
+        assert result.row(2.0, False).shed == 0
+        assert result.row(2.0, False).redirected == 0
+
+    def test_unknown_row_raises(self):
+        result = overload.run(loads=(1.0,), window=1.0)
+        with pytest.raises(KeyError):
+            result.row(9.9, True)
+
+    def test_format_result_mentions_both_arms(self):
+        result = overload.run(loads=(1.0, 2.0), window=1.5)
+        text = overload.format_result(result)
+        assert "OVERLOAD" in text
+        assert "protected" in text
+        assert "unprotected" in text
+        assert "goodput" in text
+
+
+class TestDegradationShape:
+    def test_protection_flattens_the_cliff(self):
+        """The acceptance criterion, at the experiment's real window.
+
+        Deterministic (simulated clock), ~2s wall time: the protected arm
+        retains >= 75% of its peak goodput at 2x saturation while the
+        unprotected arm loses far more.
+        """
+        result = overload.run()
+        assert result.peak_goodput(True) > 0
+        assert result.degradation(True) >= 0.75
+        assert result.degradation(False) <= 0.7
+        assert result.degradation(True) > result.degradation(False)
+        # The unprotected backlog blows the SLO by an order of magnitude.
+        assert result.row(2.0, False).p99_latency > result.slo
+        # Admission control is what buys the shape: the overflow was
+        # redirected to replica holders instead of queueing unboundedly.
+        protected_worst = result.row(2.0, True)
+        assert protected_worst.redirected + protected_worst.shed > 0
+        assert protected_worst.p99_latency < result.row(2.0, False).p99_latency
