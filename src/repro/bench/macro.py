@@ -9,7 +9,7 @@ reduced sizes so the whole macro suite stays in CI-friendly wall time.
 from __future__ import annotations
 
 from repro.bench.core import BenchSpec, BenchResult
-from repro.experiments import figure2, fuzz, loss, overload, scaling
+from repro.experiments import cache_qos, figure2, fuzz, loss, overload, scaling
 from repro.experiments.common import default_scale
 
 __all__ = ["specs", "PRE_PR_FIGURE2_BEST_S"]
@@ -30,6 +30,10 @@ _LOSS_QUERIES = 300
 _LOSS_DROPS = (0.0, 0.1)
 _OVERLOAD_LOADS = (1.0, 2.0)
 _OVERLOAD_WINDOW = 2.0
+_CACHE_QOS_CHUNKS = 2
+_CACHE_QOS_WINDOW = 1.5
+_CACHE_QOS_WARMUP = 2.0
+_CACHE_QOS_COOLDOWN = 8
 
 
 def _figure2_post(result: BenchResult) -> dict[str, float]:
@@ -52,6 +56,14 @@ def _overload_post(result: BenchResult) -> dict[str, float]:
     if result.median_s <= 0:
         return {}
     return {"overload_windows_per_s": total_windows / result.median_s}
+
+
+def _cache_qos_post(result: BenchResult) -> dict[str, float]:
+    # Each arm runs warmup + crowd chunks + cooldown control rounds.
+    total_chunks = _CACHE_QOS_CHUNKS * 2
+    if result.median_s <= 0:
+        return {}
+    return {"cache_qos_chunks_per_s": total_chunks / result.median_s}
 
 
 def _loss_post(result: BenchResult) -> dict[str, float]:
@@ -130,5 +142,23 @@ def specs() -> list[BenchSpec]:
             repeats=3,
             warmup=1,
             post=_overload_post,
+        ),
+        BenchSpec(
+            name="cache_qos_experiment",
+            kind="macro",
+            description=(
+                f"CACHE-QOS experiment, {_CACHE_QOS_CHUNKS} crowd chunks "
+                "x (static, adaptive)"
+            ),
+            unit=f"s / sweep ({_CACHE_QOS_WINDOW}s chunks)",
+            fn=lambda: cache_qos.run(
+                crowd_chunks=_CACHE_QOS_CHUNKS,
+                chunk_window=_CACHE_QOS_WINDOW,
+                warmup_window=_CACHE_QOS_WARMUP,
+                cooldown_rounds=_CACHE_QOS_COOLDOWN,
+            ),
+            repeats=3,
+            warmup=1,
+            post=_cache_qos_post,
         ),
     ]

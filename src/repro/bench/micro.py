@@ -119,6 +119,58 @@ def _service_queue_fn(n_queries: int):
     return fn
 
 
+def _replication_rounds_fn(n_rounds: int):
+    # The replication-manager control loop: each round reads per-category
+    # demand signals over every peer, ranks hot documents, and decides
+    # grow/shrink.  Demand oscillates (two hot rounds, then quiet) so the
+    # measured churn covers all three decision branches — grow with real
+    # transfer pulls, the hysteresis dead band, and the slow shrink.
+    from repro.core.maxfair import maxfair
+    from repro.core.popularity import build_category_stats
+    from repro.core.replication import plan_replication
+    from repro.model.system import SystemConfig, build_system
+    from repro.overlay.replication_manager import ReplicationConfig
+    from repro.overlay.system import P2PSystem, P2PSystemConfig
+
+    def fn():
+        instance = build_system(SystemConfig(
+            seed=7,
+            n_docs=200,
+            n_nodes=12,
+            n_categories=12,
+            n_clusters=4,
+            doc_size_bytes=65_536,
+        ))
+        stats = build_category_stats(instance)
+        assignment = maxfair(instance, stats=stats)
+        plan = plan_replication(instance, assignment, n_reps=2, hot_mass=0.35)
+        system = P2PSystem(
+            instance,
+            assignment,
+            plan=plan,
+            config=P2PSystemConfig(
+                seed=7,
+                cache_capacity=8,
+                replication=ReplicationConfig(enabled=True, shrink_after=2),
+            ),
+        )
+        manager = system.replication
+        hot_category = min(manager._category_docs)
+        holder = system.peers_in_cluster(
+            int(system.assignment.category_to_cluster[hot_category])
+        )[0]
+        for i in range(n_rounds):
+            if i % 8 < 2:
+                holder.hit_counters[hot_category] = (
+                    holder.hit_counters.get(hot_category, 0) + 10_000
+                )
+            system.run_replication_round()
+        assert manager.rounds_run == n_rounds
+        return {"replication_rounds_per_s": float(n_rounds)}
+
+    return fn
+
+
 def _rate_post(key: str):
     """Turn a work count stashed in ``extra`` into a per-second rate."""
 
@@ -139,6 +191,7 @@ def specs(size: float = 1.0) -> list[BenchSpec]:
     n_messages = max(1000, int(10_000 * size))
     n_samples = max(10_000, int(200_000 * size))
     n_service = max(2000, int(20_000 * size))
+    n_rounds = max(40, int(400 * size))
     return [
         BenchSpec(
             name="engine_event_churn",
@@ -171,5 +224,16 @@ def specs(size: float = 1.0) -> list[BenchSpec]:
             unit=f"s / {n_service} served queries",
             fn=_service_queue_fn(n_service),
             post=_rate_post("service_queries_per_s"),
+        ),
+        BenchSpec(
+            name="replication_manager",
+            kind="micro",
+            description=(
+                "adaptive replication control rounds (signals + "
+                "grow/shrink churn)"
+            ),
+            unit=f"s / {n_rounds} control rounds",
+            fn=_replication_rounds_fn(n_rounds),
+            post=_rate_post("replication_rounds_per_s"),
         ),
     ]

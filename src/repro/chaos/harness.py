@@ -28,6 +28,7 @@ from repro.model.system import SystemConfig, build_system
 from repro.model.workload import Query, QueryWorkload, make_query_workload
 from repro.overlay.adaptation import broadcast_notice, plan_category_move
 from repro.overlay.peer import DocInfo
+from repro.overlay.replication_manager import ReplicationConfig
 from repro.overlay.service import ServiceConfig
 from repro.overlay.system import P2PSystem, P2PSystemConfig
 from repro.reliability import RELIABLE_KINDS, ReliabilityConfig
@@ -125,6 +126,11 @@ class ChaosRunner:
         else:
             reliability = ReliabilityConfig(enabled=config.reliability)
             service = ServiceConfig()
+        replication = (
+            ReplicationConfig(enabled=True)
+            if config.adaptive_replication
+            else ReplicationConfig()
+        )
         self.system = P2PSystem(
             self.instance,
             assignment,
@@ -133,6 +139,8 @@ class ChaosRunner:
                 seed=schedule.seed,
                 reliability=reliability,
                 service=service,
+                replication=replication,
+                cache_capacity=8 if config.adaptive_replication else 0,
             ),
         )
         # Random loss needs a generator; give the network its own named
@@ -162,6 +170,12 @@ class ChaosRunner:
                 # Always return to quiescence between entries; a no-op
                 # when the action already drained the queue.
                 self.system.sim.run()
+                if self.config.adaptive_replication:
+                    # One control round per entry: the manager observes
+                    # whatever demand the entry generated, reacts, and
+                    # the resulting transfers land before the next entry
+                    # (and before the quiescence invariant pass).
+                    self.system.run_replication_round()
         finally:
             if self._unregister is not None:
                 self._unregister()

@@ -54,6 +54,18 @@ the quiescence set:
     No reliable channel's per-destination retry budget ever goes
     negative — retries cannot outrun the token bucket.
 
+The overload queue checks cover *every* peer object, crashed ones
+included: a node must shed its admitted service-queue work at the moment
+it dies, so a crash path that leaves a completion armed or queued
+queries stranded shows up as a drain (or conservation) violation.
+
+When the demand-adaptive replication loop runs
+(:attr:`P2PSystem.replication_enabled`), one more check joins:
+
+``replication-bounds``
+    The manager's per-category managed replica set stays within
+    ``max_replicas`` and only ever names real nodes.
+
 Structural checks run from the simulator's quiescence hook; the last
 three of the base set are event-driven, invoked by the harness when a
 workload, convergence window, or adaptation round completes.
@@ -74,6 +86,7 @@ __all__ = [
     "InvariantChecker",
     "STRUCTURAL_INVARIANTS",
     "OVERLOAD_INVARIANTS",
+    "REPLICATION_INVARIANTS",
 ]
 
 #: invariants evaluated at every quiescent step (vs. event-driven ones).
@@ -93,6 +106,9 @@ OVERLOAD_INVARIANTS = (
     "overload-drain",
     "retry-budget-no-overdraft",
 )
+
+#: extra structural invariants checked when adaptive replication runs.
+REPLICATION_INVARIANTS = ("replication-bounds",)
 
 _EPS = 1e-9
 
@@ -180,6 +196,10 @@ class InvariantChecker:
             self._run("overload-conservation", self._check_overload_conservation)
             self._run("overload-drain", self._check_overload_drain)
             self._run("retry-budget-no-overdraft", self._check_retry_budgets)
+        # Replication bounds are likewise gated: default worlds construct
+        # no manager, so their check counts (and goldens) are unchanged.
+        if self.system.replication_enabled:
+            self._run("replication-bounds", self._check_replication_bounds)
 
     def _check_unique_ownership(self):
         assignment = self.system.assignment
@@ -287,10 +307,16 @@ class InvariantChecker:
                     )
 
     def _service_snapshots(self):
-        for peer in self.system.alive_peers():
-            snapshot = peer.service_snapshot()
+        # Every peer object ever created, including crashed ones: a dead
+        # node must have shed its admitted work at the moment of the
+        # crash, so conservation and drain hold for corpses too — this is
+        # exactly what catches a crash path that skips the service-queue
+        # lifecycle (a completion firing on a dead node, queued queries
+        # leaking forever).
+        for node_id in self.system.all_node_ids():
+            snapshot = self.system._peers[node_id].service_snapshot()
             if snapshot is not None:
-                yield peer.node_id, snapshot
+                yield node_id, snapshot
 
     def _check_service_queue_bound(self):
         for node_id, snap in self._service_snapshots():
@@ -326,6 +352,25 @@ class InvariantChecker:
                     f"node {node_id} still has {snap['depth']} queued and "
                     f"in_service={snap['in_service']} at quiescence"
                 )
+
+    def _check_replication_bounds(self):
+        """Replica-set bounds: the manager never exceeds its ceiling and
+        never tracks replicas on nodes that do not exist."""
+        manager = self.system.replication
+        max_replicas = manager.config.max_replicas
+        known = set(self.system.all_node_ids())
+        for category_id, nodes in sorted(manager.managed_view().items()):
+            if len(nodes) > max_replicas:
+                yield (
+                    f"category {category_id} has {len(nodes)} managed "
+                    f"replicas, exceeding max_replicas {max_replicas}"
+                )
+            for node_id in sorted(nodes):
+                if node_id not in known:
+                    yield (
+                        f"category {category_id} tracks a managed replica "
+                        f"on unknown node {node_id}"
+                    )
 
     def _check_retry_budgets(self):
         for peer in self.system.alive_peers():

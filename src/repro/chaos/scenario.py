@@ -92,6 +92,11 @@ class ScenarioConfig:
     overload: bool = False
     #: queries per ``flash_crowd`` entry are drawn from [30, this].
     flash_crowd_max: int = 100
+    #: build the world with requester-side caches and the demand-adaptive
+    #: replication manager, and run a replication round after every
+    #: schedule entry.  Schedule *generation* ignores this flag, so the
+    #: same seed replays the same fault sequence with or without it.
+    adaptive_replication: bool = False
     action_weights: tuple[tuple[str, float], ...] = DEFAULT_ACTION_WEIGHTS
 
 

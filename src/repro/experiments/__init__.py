@@ -18,6 +18,7 @@
 | FUZZ | chaos fuzzing + invariant checks (no fig.) | ``fuzz``          |
 | LOSS | query delivery vs message loss (no fig.)   | ``loss``          |
 | OVERLOAD | goodput vs offered load, shedding on/off | ``overload``  |
+| CACHE-QOS | static vs adaptive replication, flash crowd | ``cache_qos`` |
 
 The X rows implement the paper's explicit future-work items ("fw").
 Each module exposes ``run(...) -> <Result>`` and ``format_result(result)``.
@@ -27,6 +28,7 @@ The CLI front door is :mod:`repro.experiments.runner` (installed as
 """
 
 from repro.experiments import (  # noqa: F401  (re-exported for discovery)
+    cache_qos,
     caching,
     cluster_config,
     comparison,
@@ -69,6 +71,7 @@ EXPERIMENTS = {
     "FUZZ": fuzz,
     "LOSS": loss,
     "OVERLOAD": overload,
+    "CACHE-QOS": cache_qos,
 }
 
 #: experiment id -> :class:`ExperimentSpec`; the CLI and the

@@ -78,15 +78,20 @@ def run(
         system.run_workload(workload)
         loads = system.node_loads()
         values = np.array(list(loads.values()), dtype=float)
-        total = values.sum()
+        total = values.sum() if values.size else 0.0
         cached_copies = sum(
-            len(peer._cache) for peer in system.alive_peers()
+            peer.cache_stats()["size"] for peer in system.alive_peers()
         )
         rows.append(
             CacheRow(
                 capacity=capacity,
                 load_fairness=float(jain_fairness(values)),
-                hottest_share=float(values.max() / total) if total else 0.0,
+                # values.max() on an empty array throws — a world whose
+                # peers all died must report share 0, not crash.
+                hottest_share=(
+                    float(values.max() / total) if values.size and total > 0
+                    else 0.0
+                ),
                 cached_copies=cached_copies,
             )
         )

@@ -145,6 +145,17 @@ def add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
             "invariants) to generated schedules"
         ),
     )
+    parser.add_argument(
+        "--adaptive-replication",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "fuzz only: build worlds with requester-side caches and the "
+            "demand-adaptive replication manager, running one control "
+            "round after every schedule entry (and checking the "
+            "replication-bounds invariant)"
+        ),
+    )
 
 
 def precheck_output_path(path: str | None, flag: str) -> str | None:

@@ -44,6 +44,8 @@ class FuzzResult:
     check_invariants: bool
     #: True when the sweep ran overload worlds with flash_crowd actions.
     overload: bool = False
+    #: True when worlds ran caches + the demand-adaptive replica manager.
+    adaptive_replication: bool = False
     reports: list[ChaosReport] = field(default_factory=list)
     #: shrunk reproducer for the first failing seed (None when all pass).
     minimal_repro: str | None = None
@@ -74,6 +76,7 @@ def run(
     check_invariants: bool = True,
     shrink_failing: bool = True,
     overload: bool = False,
+    adaptive_replication: bool = False,
     scale: float | None = None,
 ) -> FuzzResult:
     """Fuzz ``seeds`` consecutive seeds starting at ``seed``.
@@ -83,6 +86,12 @@ def run(
     may include ``flash_crowd`` entries (plus the four overload
     invariants); the default action mix is untouched so existing seeds
     replay identically.
+
+    With ``adaptive_replication`` the worlds additionally run requester-
+    side caches and the demand-adaptive replication manager (one control
+    round after every schedule entry, plus the replication-bounds
+    invariant).  Schedule generation ignores the flag, so each seed
+    replays the same fault sequence either way.
 
     ``scale`` is accepted for CLI uniformity but ignored: the chaos world
     uses a fixed multi-cluster configuration — paper-scale knobs collapse
@@ -96,6 +105,8 @@ def run(
     if overload:
         kwargs["overload"] = True
         kwargs["action_weights"] = OVERLOAD_ACTION_WEIGHTS
+    if adaptive_replication:
+        kwargs["adaptive_replication"] = True
     config = ScenarioConfig(**kwargs)
     result = FuzzResult(
         base_seed=seed,
@@ -103,6 +114,7 @@ def run(
         n_steps=config.n_steps,
         check_invariants=check_invariants,
         overload=overload,
+        adaptive_replication=adaptive_replication,
     )
     for fuzz_seed in range(seed, seed + seeds):
         schedule = generate_schedule(fuzz_seed, config)
@@ -126,6 +138,7 @@ def format_result(result: FuzzResult) -> str:
         f"{result.n_steps} scheduled steps each, invariants "
         f"{'on' if result.check_invariants else 'off'}"
         + (", overload actions on" if result.overload else "")
+        + (", adaptive replication on" if result.adaptive_replication else "")
     ]
     for report in result.reports:
         lines.append(f"  {report.summary()}")

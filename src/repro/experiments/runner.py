@@ -117,6 +117,7 @@ def main(argv: list[str] | None = None) -> int:
                 kwargs["seeds"] = args.fuzz_seeds
                 kwargs["check_invariants"] = args.check_invariants
                 kwargs["overload"] = args.overload_actions
+                kwargs["adaptive_replication"] = args.adaptive_replication
                 if args.steps is not None:
                     kwargs["steps"] = args.steps
             with obs.Timer(obs.histogram(f"experiment.{exp_id.lower()}_s")):

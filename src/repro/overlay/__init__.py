@@ -21,17 +21,30 @@ Implements Section 3 (architecture and query processing) and Section 6
   updates;
 * :mod:`repro.overlay.routing_indices` — the pure-P2P routing-indices
   alternative to cluster metadata (after Crespo & Garcia-Molina);
+* :mod:`repro.overlay.cache` — the requester-side document cache
+  (LRU/LFU) that registers cached copies as servable holders;
+* :mod:`repro.overlay.replication_manager` — the demand-adaptive
+  replication control loop (grow fast on pressure, shrink slowly on
+  idle, QoS-aware placement);
 * :mod:`repro.overlay.system` — :class:`~repro.overlay.system.P2PSystem`,
   the façade that wires a built system instance into a live simulation.
 """
 
+from repro.overlay.cache import DocumentCache
 from repro.overlay.metadata import DCRT, NRT, DocumentTable
+from repro.overlay.replication_manager import (
+    ReplicationConfig,
+    ReplicationManager,
+)
 from repro.overlay.system import P2PSystem, P2PSystemConfig
 
 __all__ = [
     "DCRT",
     "NRT",
+    "DocumentCache",
     "DocumentTable",
     "P2PSystem",
     "P2PSystemConfig",
+    "ReplicationConfig",
+    "ReplicationManager",
 ]

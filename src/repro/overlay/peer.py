@@ -35,6 +35,7 @@ import numpy as np
 
 from repro import obs
 from repro.overlay import messages as m
+from repro.overlay.cache import DocumentCache
 from repro.overlay.cluster import elect_leader
 from repro.overlay.messages import DocInfo
 from repro.overlay.metadata import DCRT, DCRTEntry, NRT, DocumentTable
@@ -80,9 +81,11 @@ class PeerConfig:
     #: ("the first opportune time", Section 6.1.2 step 2).
     transfer_stagger: float = 2.0
     #: requester-side query cache (future-work item viii): number of
-    #: retrieved documents kept as servable replicas, LRU-evicted.
+    #: retrieved documents kept as servable replicas, policy-evicted.
     #: 0 disables caching.
     cache_capacity: int = 0
+    #: cache replacement policy; see :data:`repro.overlay.cache.CACHE_POLICIES`.
+    cache_policy: str = "lru"
     #: most-recent query ids remembered for loop detection; bounds what
     #: used to be unbounded growth over long runs.
     seen_query_capacity: int = 4096
@@ -291,9 +294,11 @@ class Peer:
         #: category -> documents the coordinator designated this node to
         #: ship (deduplicates replicated content across source nodes).
         self._designated_docs: dict[int, tuple[int, ...]] = {}
-        #: LRU of cached (retrieved, servable) documents; see
-        #: PeerConfig.cache_capacity.
-        self._cache: "OrderedDict[int, None]" = OrderedDict()
+        #: requester-side cache of retrieved (servable) documents; see
+        #: PeerConfig.cache_capacity / cache_policy.
+        self._cache = DocumentCache(
+            self.config.cache_capacity, self.config.cache_policy
+        )
         #: (cluster, round) probes awaiting a leader's liveness reply.
         self._pending_probes: set[tuple[int, int]] = set()
 
@@ -413,6 +418,26 @@ class Peer:
     def stored_bytes(self) -> int:
         return sum(info.size_bytes for info in self.docs.values())
 
+    def pull_documents(
+        self, source_id: int, category_id: int, doc_ids: Iterable[int]
+    ) -> None:
+        """Pull specific documents from a holder (replica placement).
+
+        Used by the demand-adaptive replication manager: the source
+        answers with ``transfer_data`` sized as the documents' content, so
+        creating a replica pays real transfer bytes — and the arriving
+        copies register in the holder directory via ``store_document``.
+        """
+        self._send(
+            source_id,
+            "transfer_request",
+            m.TransferRequest(
+                category_id=category_id,
+                requester_id=self.node_id,
+                doc_ids=tuple(doc_ids),
+            ),
+        )
+
     # ------------------------------------------------------------------
     # introspection (read-only views for invariant checkers)
     # ------------------------------------------------------------------
@@ -452,6 +477,40 @@ class Peer:
     def service_snapshot(self) -> dict | None:
         """Service-queue accounting, or None when the model is disabled."""
         return None if self._service is None else self._service.snapshot()
+
+    def cache_stats(self) -> dict:
+        """Public accounting view of the requester-side cache.
+
+        Always available (zeros when caching is disabled); the replica
+        manager and the caching experiments read demand signals from here
+        instead of reaching into private state.
+        """
+        return self._cache.stats()
+
+    def cache_owns(self, doc_id: int) -> bool:
+        """True when ``doc_id`` is held as an evictable cached copy."""
+        return self._cache.owns(doc_id)
+
+    def cache_promote(self, doc_id: int) -> bool:
+        """Pin a cached copy: keep the stored document, stop tracking it
+        as evictable.
+
+        Used by the replication manager to convert a transient cached
+        copy into a managed replica without re-shipping bytes the node
+        already holds.  Returns False when the document is not
+        cache-owned (nothing changes).
+        """
+        return self._cache.discard(doc_id)
+
+    def handle_crash(self) -> None:
+        """The host crashed: shed all accepted service-queue work.
+
+        Called by the deployment (``P2PSystem.crash_node``) at the moment
+        of the crash — a dead node must not keep a scheduled service
+        completion armed or hold admitted queries forever.
+        """
+        if self._service is not None:
+            self._service.on_crash()
 
     def clear_failure_state(self) -> None:
         """Forget pre-crash liveness evidence; called when this node heals.
@@ -733,6 +792,10 @@ class Peer:
         self.hit_counters[query.category_id] = (
             self.hit_counters.get(query.category_id, 0) + 1
         )
+        if len(self._cache):
+            for doc_id in doc_ids:
+                if self._cache.owns(doc_id):
+                    self._cache.served_hits += 1
         self.hooks.on_request_served(self)
         _C_QUERIES_SERVED.value += 1
         if _TRACE.enabled:
@@ -908,15 +971,12 @@ class Peer:
         (future-work item viii).  Only cache-owned entries are evicted —
         contributions and placed replicas are never touched.
         """
-        if info.doc_id in self._cache:
-            self._cache.move_to_end(info.doc_id)
+        if self._cache.touch(info.doc_id):
             return
         if info.doc_id in self.docs:
             return  # already stored as contribution/replica
         self.store_document(info)
-        self._cache[info.doc_id] = None
-        while len(self._cache) > self.config.cache_capacity:
-            evicted, _ = self._cache.popitem(last=False)
+        for evicted in self._cache.add(info.doc_id):
             self.drop_document(evicted)
 
     # ------------------------------------------------------------------

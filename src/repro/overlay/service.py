@@ -99,12 +99,12 @@ class ServiceQueue:
     def __init__(self, peer: "Peer", config: ServiceConfig) -> None:
         self.peer = peer
         self.config = config
-        #: per-query service time, inversely proportional to capacity.
-        self.service_time = config.base_service_time / max(
-            peer.capacity_units, 1e-9
-        )
         self._queue: deque["m.QueryMessage"] = deque()
         self._in_service = False
+        #: query currently occupying the server (None when idle).
+        self._current: "m.QueryMessage | None" = None
+        #: bumped on crash so already-scheduled completions become no-ops.
+        self._epoch = 0
         # local accounting (per peer)
         self.offered = 0
         self.processed = 0
@@ -175,13 +175,36 @@ class ServiceQueue:
     # ------------------------------------------------------------------
     # the server
     # ------------------------------------------------------------------
-    def _begin(self, query: "m.QueryMessage") -> None:
-        self._in_service = True
-        self.peer.network.sim.schedule(
-            self.service_time, lambda: self._complete(query)
+    @property
+    def service_time(self) -> float:
+        """Per-query service time, inversely proportional to capacity.
+
+        Derived from the peer's *current* ``capacity_units`` at every
+        service start, so capacity changes mid-run (adaptive placement on
+        capacity tiers, operator retuning) change the service rate for
+        the next query instead of being silently ignored.
+        """
+        return self.config.base_service_time / max(
+            self.peer.capacity_units, 1e-9
         )
 
-    def _complete(self, query: "m.QueryMessage") -> None:
+    def _begin(self, query: "m.QueryMessage") -> None:
+        self._in_service = True
+        self._current = query
+        epoch = self._epoch
+        self.peer.network.sim.schedule(
+            self.service_time, lambda: self._complete(query, epoch)
+        )
+
+    def _complete(self, query: "m.QueryMessage", epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # the host crashed mid-service; on_crash accounted it
+        if not self.peer.network.is_alive(self.peer.node_id):
+            # Belt and suspenders: a crash that bypassed on_crash must not
+            # let a dead node keep serving.  The queue is left undrained on
+            # purpose — the overload-drain invariant flags the unwired path.
+            return
+        self._current = None
         self.processed += 1
         self.peer._process_query(query)
         if self._queue:
@@ -189,6 +212,28 @@ class ServiceQueue:
             self._begin(self._queue.popleft())
         else:
             self._in_service = False
+
+    def on_crash(self) -> None:
+        """The host died without goodbye: account all accepted work.
+
+        The in-flight query and every queued query are shed — their BUSY
+        signals originate from a crashed node, so the network drops them
+        and requesters learn of the loss through failover deadlines, just
+        like any other message to or from a dead peer.  What matters here
+        is conservation: no accepted query may silently vanish from the
+        ``offered == processed + shed + redirected + depth + in_service``
+        ledger, and the already-scheduled completion must not fire on the
+        corpse (the epoch bump disarms it).
+        """
+        self._epoch += 1
+        if self._in_service:
+            self._in_service = False
+            current, self._current = self._current, None
+            if current is not None:
+                self._shed(current)
+        while self._queue:
+            self._g_depth.value -= 1
+            self._shed(self._queue.popleft())
 
     # ------------------------------------------------------------------
     # introspection

@@ -36,6 +36,10 @@ from repro.overlay.adaptation import (
 )
 from repro.overlay.cluster import build_cluster_graph
 from repro.overlay.peer import DocInfo, Peer, PeerConfig, PeerHooks
+from repro.overlay.replication_manager import (
+    ReplicationConfig,
+    ReplicationManager,
+)
 from repro.overlay.service import ServiceConfig
 from repro.reliability import ReliabilityConfig
 from repro.sim.engine import Simulator
@@ -57,6 +61,8 @@ class P2PSystemConfig:
     remote_nrt_sample: int = 4
     #: requester-side query cache size in documents (0 = off).
     cache_capacity: int = 0
+    #: cache replacement policy ("lru" or "lfu").
+    cache_policy: str = "lru"
     #: where the Section 3.1 cluster metadata lives: ``replicated`` = every
     #: node can locate holders (the pure-P2P reading); ``super_peer`` =
     #: only each cluster's most capable node can, and other members route
@@ -69,6 +75,9 @@ class P2PSystemConfig:
     #: per-peer service model (finite service rate, bounded intake queue,
     #: admission control); pushed into every peer's config (off by default).
     service: ServiceConfig = field(default_factory=ServiceConfig)
+    #: demand-adaptive replication loop (off by default — no manager is
+    #: even constructed, so non-adaptive runs stay byte-identical).
+    replication: ReplicationConfig = field(default_factory=ReplicationConfig)
     peer: PeerConfig = field(default_factory=PeerConfig)
 
     def __post_init__(self) -> None:
@@ -239,6 +248,13 @@ class P2PSystem:
         self._cluster_members_cache: dict[int, set[int]] | None = None
 
         self._bootstrap()
+        #: demand-adaptive replication loop; None when disabled so the
+        #: default world registers no replication metrics at all.
+        self.replication: ReplicationManager | None = (
+            ReplicationManager(self, self.config.replication)
+            if self.config.replication.enabled
+            else None
+        )
 
     # ------------------------------------------------------------------
     # construction
@@ -259,6 +275,7 @@ class P2PSystem:
             self.config.peer,
             nrt_capacity=self.config.nrt_capacity,
             cache_capacity=self.config.cache_capacity,
+            cache_policy=self.config.cache_policy,
             reliability=self.config.reliability,
             service=self.config.service,
         )
@@ -447,6 +464,11 @@ class P2PSystem:
         """True when peers run the service model (overload invariants apply)."""
         return self.config.service.enabled
 
+    @property
+    def replication_enabled(self) -> bool:
+        """True when the adaptive replication loop runs (bounds apply)."""
+        return self.replication is not None
+
     def departed_node_ids(self) -> list[int]:
         """Sorted ids of peers that left or crashed out of the system."""
         return sorted(self._departed)
@@ -622,6 +644,11 @@ class P2PSystem:
         """Fail a node without any goodbye (tests the timeout paths)."""
         self.network.crash(node_id)
         self._departed.add(node_id)
+        peer = self._peers.get(node_id)
+        if peer is not None:
+            # Shed the node's admitted service-queue work and disarm its
+            # scheduled completion — a dead node must not keep serving.
+            peer.handle_crash()
 
     def recover_node(self, node_id: int) -> Peer:
         """Heal a crashed node: the inverse of :meth:`crash_node`.
@@ -704,6 +731,21 @@ class P2PSystem:
             for peer in self.alive_peers():
                 peer.heartbeat_once()
             self.sim.run()
+
+    def run_replication_round(self):
+        """Run one demand-adaptive replication round and let transfers land.
+
+        Round-driven like gossip and the failure detector (a standing
+        periodic event would break run-to-quiescence callers); drivers
+        interleave rounds with workload windows.  Returns the manager's
+        :class:`~repro.overlay.replication_manager.RoundReport`, or None
+        when adaptive replication is disabled.
+        """
+        if self.replication is None:
+            return None
+        report = self.replication.run_round()
+        self.sim.run()
+        return report
 
     def run_adaptation(
         self, round_id: int = 0, config: AdaptationConfig | None = None

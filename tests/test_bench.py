@@ -26,11 +26,11 @@ RESULT_KEYS = {
 
 MICRO_NAMES = {
     "engine_event_churn", "network_send_deliver", "zipf_sampling",
-    "service_queue",
+    "service_queue", "replication_manager",
 }
 MACRO_NAMES = {
     "figure2_end_to_end", "scaling_sweep", "fuzz_steps", "loss_experiment",
-    "overload_experiment",
+    "overload_experiment", "cache_qos_experiment",
 }
 
 
@@ -122,6 +122,10 @@ class TestReportSchema:
         assert "events_per_s" in by_name["engine_event_churn"]["extra"]
         assert "messages_per_s" in by_name["network_send_deliver"]["extra"]
         assert "service_queries_per_s" in by_name["service_queue"]["extra"]
+        assert (
+            "replication_rounds_per_s"
+            in by_name["replication_manager"]["extra"]
+        )
 
     def test_committed_baseline_matches_schema(self):
         """The committed BENCH_core.json (if present) parses and carries

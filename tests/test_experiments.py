@@ -28,7 +28,7 @@ class TestRegistry:
     def test_all_experiments_registered(self):
         assert set(EXPERIMENTS) == {
             "F2", "F3", "F4", "F5", "T1", "T2", "T3", "E1", "E2", "E3",
-            "X1", "X2", "X3", "FUZZ", "LOSS", "OVERLOAD",
+            "X1", "X2", "X3", "FUZZ", "LOSS", "OVERLOAD", "CACHE-QOS",
         }
 
     def test_every_module_has_run_and_format(self):
