@@ -171,6 +171,54 @@ def _replication_rounds_fn(n_rounds: int):
     return fn
 
 
+def _scenario_step_fn(n_events: int):
+    # The scenario engine's expansion hot path: one fully-modulated spec
+    # (diurnal + regional offsets + drift + a skew flip) expanded into a
+    # deterministic event stream.  The world is built once outside the
+    # timed callable (like _zipf_fn's sampler) so repeats measure only
+    # generation: the windowed rate math, the time-varying Zipf draws,
+    # and the joint time sort.
+    from repro.model.system import SystemConfig, build_system
+    from repro.scenario import (
+        DiurnalSpec,
+        DriftSpec,
+        ScenarioSpec,
+        SkewFlipSpec,
+        generate_events,
+    )
+
+    instance = build_system(SystemConfig(
+        seed=7,
+        n_docs=200,
+        n_nodes=16,
+        n_categories=12,
+        n_clusters=4,
+        doc_size_bytes=65_536,
+    ))
+    duration = 40.0
+    spec = ScenarioSpec(
+        name="bench",
+        seed=7,
+        duration=duration,
+        base_rate=n_events / duration,
+        n_regions=4,
+        window=0.5,
+        diurnal=DiurnalSpec(
+            period=10.0,
+            amplitude=0.8,
+            regional_offsets=(0.0, 0.25, 0.5, 0.75),
+        ),
+        drift=DriftSpec(ranks_per_unit=2.0),
+        flips=(SkewFlipSpec(at=duration / 2.0, mass=0.4, n_hot=4),),
+    )
+
+    def fn():
+        stream = generate_events(spec, instance)
+        return {"scenario_events_per_s": float(len(stream))}
+
+    return fn
+
+
 def _rate_post(key: str):
     """Turn a work count stashed in ``extra`` into a per-second rate."""
 
@@ -192,6 +240,7 @@ def specs(size: float = 1.0) -> list[BenchSpec]:
     n_samples = max(10_000, int(200_000 * size))
     n_service = max(2000, int(20_000 * size))
     n_rounds = max(40, int(400 * size))
+    n_scenario = max(5_000, int(50_000 * size))
     return [
         BenchSpec(
             name="engine_event_churn",
@@ -235,5 +284,16 @@ def specs(size: float = 1.0) -> list[BenchSpec]:
             unit=f"s / {n_rounds} control rounds",
             fn=_replication_rounds_fn(n_rounds),
             post=_rate_post("replication_rounds_per_s"),
+        ),
+        BenchSpec(
+            name="scenario_step",
+            kind="micro",
+            description=(
+                "scenario-engine event generation (diurnal + drift + "
+                "skew-flip modulated stream)"
+            ),
+            unit=f"s / ~{n_scenario} events",
+            fn=_scenario_step_fn(n_scenario),
+            post=_rate_post("scenario_events_per_s"),
         ),
     ]

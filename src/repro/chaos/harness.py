@@ -14,6 +14,7 @@ identically and shrunk schedules remain well-formed.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,7 +28,7 @@ from repro.core.replication import plan_replication
 from repro.model.system import SystemConfig, build_system
 from repro.model.workload import Query, QueryWorkload, make_query_workload
 from repro.overlay.adaptation import broadcast_notice, plan_category_move
-from repro.overlay.peer import DocInfo
+from repro.overlay.peer import DocInfo, MisbehaviorConfig
 from repro.overlay.replication_manager import ReplicationConfig
 from repro.overlay.service import ServiceConfig
 from repro.overlay.system import P2PSystem, P2PSystemConfig
@@ -150,6 +151,10 @@ class ChaosRunner:
         self.report = ChaosReport(seed=schedule.seed, n_entries=len(schedule))
         self._next_doc_id = max(self.instance.documents) + 1
         self._next_node_id = max(self.system.all_node_ids()) + 1
+        #: lazily-built document-draw law for the scenario actions; a
+        #: ``skew_flip`` entry reweights it in place.
+        self._scenario_doc_ids: list[int] | None = None
+        self._scenario_doc_weights: np.ndarray | None = None
         self._unregister = None
         if check_invariants:
             self._unregister = self.system.sim.on_quiescence(
@@ -346,6 +351,113 @@ class ChaosRunner:
             return False
         broadcast_notice(system, notice, min(coordinator_pool))
         system.sim.run()
+        return True
+
+    # -- scenario-engine actions (ScenarioConfig.scenario_actions) ------
+    def _scenario_weights(self) -> tuple[list[int], np.ndarray]:
+        """The (doc ids, draw probabilities) law the scenario bursts use."""
+        if self._scenario_doc_weights is None:
+            doc_ids = sorted(self.instance.documents)
+            popularity = np.array(
+                [self.instance.documents[d].popularity for d in doc_ids],
+                dtype=float,
+            )
+            self._scenario_doc_ids = doc_ids
+            self._scenario_doc_weights = popularity / popularity.sum()
+        return self._scenario_doc_ids, self._scenario_doc_weights
+
+    def _do_diurnal_burst(
+        self,
+        step: int,
+        n: int,
+        phase: float,
+        amplitude: float,
+        workload_seed: int,
+    ) -> bool:
+        # One sample point of the scenario engine's diurnal rate curve:
+        # the burst size is n scaled by ``1 + amplitude * sin(2π·phase)``.
+        alive = self._alive_ids()
+        if not alive:
+            return False
+        factor = 1.0 + amplitude * math.sin(2.0 * math.pi * phase)
+        count = max(1, int(round(n * factor)))
+        doc_ids, weights = self._scenario_weights()
+        rng = np.random.default_rng(workload_seed)
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        choices = cdf.searchsorted(rng.random(count), side="right")
+        requesters = rng.integers(0, len(alive), size=count)
+        queries = []
+        for index in range(count):
+            doc = self.instance.documents[doc_ids[int(choices[index])]]
+            queries.append(
+                Query(
+                    query_id=index,
+                    requester_id=alive[int(requesters[index])],
+                    target_doc_id=doc.doc_id,
+                    category_ids=doc.categories,
+                    m=1,
+                )
+            )
+        outcomes = self.system.run_workload(QueryWorkload(queries=queries))
+        self.report.outcomes_total += len(outcomes)
+        if self.check_invariants:
+            self.checker.check_outcomes(outcomes)
+        return True
+
+    def _do_skew_flip(
+        self, step: int, mass: float, n_hot: int, flip_seed: int
+    ) -> bool:
+        # Breaking news: future scenario bursts draw from the convex
+        # mixture ``(1 - mass) * current + mass * uniform(hot set)``.
+        doc_ids, weights = self._scenario_weights()
+        n_hot = min(n_hot, len(doc_ids))
+        if n_hot < 1:
+            return False
+        hot = np.random.default_rng(flip_seed).choice(
+            len(doc_ids), size=n_hot, replace=False
+        )
+        boost = np.zeros(len(doc_ids))
+        boost[hot] = 1.0 / n_hot
+        self._scenario_doc_weights = (1.0 - mass) * weights + mass * boost
+        return True
+
+    def _do_free_rider_join(self, step: int, capacity: int) -> bool:
+        if not self._alive_ids():
+            return False
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        self.system.join_node(node_id, float(capacity), doc_infos=[])
+        return True
+
+    def _do_misbehave(self, step: int, rank: int, mode: str) -> bool:
+        alive = self._alive_ids()
+        # Keep enough honest peers to stay useful (and shrinkable).
+        if len(alive) <= self.config.min_alive:
+            return False
+        node_id = alive[rank % len(alive)]
+        if mode == "stale_gossip":
+            config = MisbehaviorConfig(stale_gossip=True)
+        else:
+            # Rejectable bogus mode only (empty doc_infos): requesters
+            # catch every fabricated answer, so fuzz runs stay clean and
+            # the response-integrity audit has real work to do.
+            config = MisbehaviorConfig(bogus_responses=True)
+        self.system.set_misbehavior(node_id, config)
+        return True
+
+    def _do_regional_partition(self, step: int, region: int) -> bool:
+        # Correlated outage: one whole cluster loses contact with the
+        # rest of the overlay (vs. the random split of ``partition``).
+        cluster_id = region % self.config.n_clusters
+        members = sorted(
+            peer.node_id for peer in self.system.peers_in_cluster(cluster_id)
+        )
+        others = sorted(set(self._alive_ids()) - set(members))
+        if not members or not others:
+            return False
+        self.system.network.schedule_partition(0.0, [members, others])
+        self.system.sim.run()
         return True
 
     def _do_adapt(self, step: int) -> bool:

@@ -66,6 +66,14 @@ When the demand-adaptive replication loop runs
     The manager's per-category managed replica set stays within
     ``max_replicas`` and only ever names real nodes.
 
+When misbehaving peers have been armed
+(:attr:`P2PSystem.misbehavior_armed`), one more check joins:
+
+``response-integrity``
+    Every response a requester *accepted* only claims documents its
+    responder actually stored at some point — fabricated content must be
+    rejected at the requester or it is a violation.
+
 Structural checks run from the simulator's quiescence hook; the last
 three of the base set are event-driven, invoked by the harness when a
 workload, convergence window, or adaptation round completes.
@@ -87,6 +95,7 @@ __all__ = [
     "STRUCTURAL_INVARIANTS",
     "OVERLOAD_INVARIANTS",
     "REPLICATION_INVARIANTS",
+    "INTEGRITY_INVARIANTS",
 ]
 
 #: invariants evaluated at every quiescent step (vs. event-driven ones).
@@ -109,6 +118,9 @@ OVERLOAD_INVARIANTS = (
 
 #: extra structural invariants checked when adaptive replication runs.
 REPLICATION_INVARIANTS = ("replication-bounds",)
+
+#: extra structural invariant checked once misbehavior is armed.
+INTEGRITY_INVARIANTS = ("response-integrity",)
 
 _EPS = 1e-9
 
@@ -148,6 +160,9 @@ class InvariantChecker:
         self._assignment_marks: dict[int, int] = {}
         self._c_checks = obs.counter("chaos.invariant_checks")
         self._c_violations = obs.counter("chaos.violations")
+        #: how many integrity failures have already been reported — the
+        #: system's list is cumulative, so only the tail is new each step.
+        self._integrity_cursor = 0
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -200,6 +215,10 @@ class InvariantChecker:
         # no manager, so their check counts (and goldens) are unchanged.
         if self.system.replication_enabled:
             self._run("replication-bounds", self._check_replication_bounds)
+        # Response integrity is gated on the misbehavior audit being
+        # armed: honest worlds run no extra checks, keeping goldens.
+        if self.system.misbehavior_armed:
+            self._run("response-integrity", self._check_response_integrity)
 
     def _check_unique_ownership(self):
         assignment = self.system.assignment
@@ -380,6 +399,18 @@ class InvariantChecker:
                     f"node {peer.node_id} overdrew a retry budget to "
                     f"{minimum} tokens"
                 )
+
+    def _check_response_integrity(self):
+        """Accepted responses must only claim documents their responder
+        actually stored — anything the system's audit flagged is a breach.
+
+        The audit list is cumulative, so report only the tail beyond the
+        last quiescent step's cursor.
+        """
+        failures = self.system.integrity_failures()
+        new = failures[self._integrity_cursor :]
+        self._integrity_cursor = len(failures)
+        yield from new
 
     # ------------------------------------------------------------------
     # event-driven checks

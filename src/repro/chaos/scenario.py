@@ -22,6 +22,8 @@ from repro.sim.rng import RngRegistry
 __all__ = [
     "DEFAULT_ACTION_WEIGHTS",
     "OVERLOAD_ACTION_WEIGHTS",
+    "SCENARIO_EXTRA_ACTIONS",
+    "SCENARIO_ACTION_WEIGHTS",
     "ScenarioConfig",
     "ScheduleEntry",
     "Schedule",
@@ -54,6 +56,26 @@ DEFAULT_ACTION_WEIGHTS: tuple[tuple[str, float], ...] = (
 #: — and with them the recorded goldens and replayable reproducers.
 OVERLOAD_ACTION_WEIGHTS: tuple[tuple[str, float], ...] = (
     DEFAULT_ACTION_WEIGHTS + (("flash_crowd", 2.0),)
+)
+
+#: the scenario-engine actions (PR 7): non-stationary workload bursts,
+#: skew flips, free-riding joiners, misbehaving peers, and correlated
+#: regional partitions.  A separate tuple for the same golden-preserving
+#: reason as ``OVERLOAD_ACTION_WEIGHTS`` — appending to the default
+#: weights would shift every existing schedule's RNG draws.
+SCENARIO_EXTRA_ACTIONS: tuple[tuple[str, float], ...] = (
+    ("diurnal_burst", 2.0),
+    ("skew_flip", 1.0),
+    ("free_rider_join", 1.0),
+    ("misbehave", 1.0),
+    ("regional_partition", 1.0),
+)
+
+#: the default weights plus the scenario-engine actions (opt-in via
+#: ``ScenarioConfig(scenario_actions=True,
+#: action_weights=SCENARIO_ACTION_WEIGHTS)``).
+SCENARIO_ACTION_WEIGHTS: tuple[tuple[str, float], ...] = (
+    DEFAULT_ACTION_WEIGHTS + SCENARIO_EXTRA_ACTIONS
 )
 
 
@@ -97,6 +119,13 @@ class ScenarioConfig:
     #: schedule entry.  Schedule *generation* ignores this flag, so the
     #: same seed replays the same fault sequence with or without it.
     adaptive_replication: bool = False
+    #: arm the scenario-engine action handlers (diurnal bursts, skew
+    #: flips, free-riding joiners, misbehaving peers, regional
+    #: partitions).  Pair with ``SCENARIO_ACTION_WEIGHTS`` so those
+    #: actions appear in generated schedules.
+    scenario_actions: bool = False
+    #: queries per ``diurnal_burst`` entry before rate modulation.
+    diurnal_burst_max: int = 30
     action_weights: tuple[tuple[str, float], ...] = DEFAULT_ACTION_WEIGHTS
 
 
@@ -199,6 +228,36 @@ def _draw_params(action: str, rng, config: ScenarioConfig) -> dict:
             "n": int(rng.integers(30, config.flash_crowd_max + 1)),
             "workload_seed": int(rng.integers(0, 2**31 - 1)),
         }
+    if action == "diurnal_burst":
+        # A query burst whose size is modulated by a diurnal factor
+        # ``1 + amplitude * sin(2π * phase)`` — the scenario engine's
+        # rate math driven from the schedule's own drawn phase point.
+        return {
+            "n": int(rng.integers(5, config.diurnal_burst_max + 1)),
+            "phase": round(float(rng.uniform(0.0, 1.0)), 3),
+            "amplitude": round(float(rng.uniform(0.0, 1.0)), 3),
+            "workload_seed": int(rng.integers(0, 2**31 - 1)),
+        }
+    if action == "skew_flip":
+        # Breaking news: reweight the harness's document-draw law so a
+        # small hot set suddenly carries ``mass`` of future bursts.
+        return {
+            "mass": round(float(rng.uniform(0.1, 0.5)), 3),
+            "n_hot": int(rng.integers(1, 9)),
+            "flip_seed": int(rng.integers(0, 2**31 - 1)),
+        }
+    if action == "free_rider_join":
+        # A node that joins with capacity but zero content.
+        return {"capacity": int(rng.integers(1, 6))}
+    if action == "misbehave":
+        # Arm one live peer as bogus-responder or stale-gossip replayer.
+        return {
+            "rank": int(rng.integers(0, 1_000_000)),
+            "mode": str(rng.choice(["bogus", "stale_gossip"])),
+        }
+    if action == "regional_partition":
+        # Correlated outage: one whole cluster drops off the network.
+        return {"region": int(rng.integers(0, config.n_clusters))}
     if action == "retry_storm":
         # Drop reliable request kinds hard enough to force retransmission
         # chains (and some give-ups) across many concurrent deliveries.

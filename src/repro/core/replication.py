@@ -245,6 +245,7 @@ def plan_replication(
     n_reps: int = 2,
     hot_mass: float = 0.35,
     policy: str = "hot_mass",
+    exclude_free_riders: bool = False,
 ) -> ReplicationPlan:
     """Compute a replica placement for a full assignment.
 
@@ -267,6 +268,12 @@ def plan_replication(
         future-work-(vii) alternatives — ``uniform``, ``sqrt``,
         ``proportional`` — which vary the per-document replica count under
         (about) the same total budget instead of using a hot set.
+    exclude_free_riders:
+        Skip nodes with :attr:`~repro.model.nodes.Node.is_free_rider`
+        (no contributions) as replica targets.  Off by default: in the
+        generated worlds a contribution-less node is usually a capacity
+        provider, exactly where replicas belong — enable this only for
+        scenarios that designate true free riders (consume-only nodes).
     """
     if n_reps < 1:
         raise ValueError(f"n_reps must be >= 1, got {n_reps}")
@@ -281,6 +288,12 @@ def plan_replication(
     plan = ReplicationPlan()
     for cluster_id in range(assignment.n_clusters):
         cluster_nodes = sorted(members[cluster_id]) if cluster_id < len(members) else []
+        if exclude_free_riders:
+            cluster_nodes = [
+                node_id
+                for node_id in cluster_nodes
+                if not instance.nodes[node_id].is_free_rider
+            ]
         if not cluster_nodes:
             continue
         for category_id in assignment.categories_in(cluster_id):

@@ -19,6 +19,7 @@
 | LOSS | query delivery vs message loss (no fig.)   | ``loss``          |
 | OVERLOAD | goodput vs offered load, shedding on/off | ``overload``  |
 | CACHE-QOS | static vs adaptive replication, flash crowd | ``cache_qos`` |
+| SCENARIO | declarative workload-scenario matrix (no fig.) | ``scenario`` |
 
 The X rows implement the paper's explicit future-work items ("fw").
 Each module exposes ``run(...) -> <Result>`` and ``format_result(result)``.
@@ -44,6 +45,7 @@ from repro.experiments import (  # noqa: F401  (re-exported for discovery)
     overload,
     rebalance_cost,
     scaling,
+    scenario,
     storage,
 )
 
@@ -72,6 +74,7 @@ EXPERIMENTS = {
     "LOSS": loss,
     "OVERLOAD": overload,
     "CACHE-QOS": cache_qos,
+    "SCENARIO": scenario,
 }
 
 #: experiment id -> :class:`ExperimentSpec`; the CLI and the

@@ -156,6 +156,17 @@ def add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
             "replication-bounds invariant)"
         ),
     )
+    parser.add_argument(
+        "--scenario-actions",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "fuzz only: add the scenario-engine actions (diurnal bursts, "
+            "skew flips, free-riding joiners, misbehaving peers, regional "
+            "partitions — and the response-integrity invariant) to "
+            "generated schedules"
+        ),
+    )
 
 
 def precheck_output_path(path: str | None, flag: str) -> str | None:

@@ -28,7 +28,11 @@ from repro.chaos import (
     run_schedule,
     shrink,
 )
-from repro.chaos.scenario import OVERLOAD_ACTION_WEIGHTS
+from repro.chaos.scenario import (
+    DEFAULT_ACTION_WEIGHTS,
+    OVERLOAD_ACTION_WEIGHTS,
+    SCENARIO_EXTRA_ACTIONS,
+)
 from repro.experiments.registry import experiment_spec
 
 __all__ = ["FuzzResult", "run", "format_result"]
@@ -46,6 +50,10 @@ class FuzzResult:
     overload: bool = False
     #: True when worlds ran caches + the demand-adaptive replica manager.
     adaptive_replication: bool = False
+    #: True when schedules could include the scenario-engine actions
+    #: (diurnal bursts, skew flips, free riders, misbehaving peers,
+    #: regional partitions).
+    scenario_actions: bool = False
     reports: list[ChaosReport] = field(default_factory=list)
     #: shrunk reproducer for the first failing seed (None when all pass).
     minimal_repro: str | None = None
@@ -77,6 +85,7 @@ def run(
     shrink_failing: bool = True,
     overload: bool = False,
     adaptive_replication: bool = False,
+    scenario_actions: bool = False,
     scale: float | None = None,
 ) -> FuzzResult:
     """Fuzz ``seeds`` consecutive seeds starting at ``seed``.
@@ -93,6 +102,13 @@ def run(
     invariant).  Schedule generation ignores the flag, so each seed
     replays the same fault sequence either way.
 
+    With ``scenario_actions`` the scenario-engine actions (diurnal
+    bursts, skew flips, free-riding joiners, misbehaving peers, regional
+    partitions) join the action mix, and arming a misbehaving peer turns
+    on the ``response-integrity`` invariant.  Like the overload actions
+    these live in their own appended weights tuple, so default and
+    overload schedules replay unchanged.
+
     ``scale`` is accepted for CLI uniformity but ignored: the chaos world
     uses a fixed multi-cluster configuration — paper-scale knobs collapse
     to one cluster at fuzz-friendly sizes, which would make the ownership
@@ -107,6 +123,12 @@ def run(
         kwargs["action_weights"] = OVERLOAD_ACTION_WEIGHTS
     if adaptive_replication:
         kwargs["adaptive_replication"] = True
+    if scenario_actions:
+        kwargs["scenario_actions"] = True
+        kwargs["action_weights"] = (
+            kwargs.get("action_weights", DEFAULT_ACTION_WEIGHTS)
+            + SCENARIO_EXTRA_ACTIONS
+        )
     config = ScenarioConfig(**kwargs)
     result = FuzzResult(
         base_seed=seed,
@@ -115,6 +137,7 @@ def run(
         check_invariants=check_invariants,
         overload=overload,
         adaptive_replication=adaptive_replication,
+        scenario_actions=scenario_actions,
     )
     for fuzz_seed in range(seed, seed + seeds):
         schedule = generate_schedule(fuzz_seed, config)
@@ -139,6 +162,7 @@ def format_result(result: FuzzResult) -> str:
         f"{'on' if result.check_invariants else 'off'}"
         + (", overload actions on" if result.overload else "")
         + (", adaptive replication on" if result.adaptive_replication else "")
+        + (", scenario actions on" if result.scenario_actions else "")
     ]
     for report in result.reports:
         lines.append(f"  {report.summary()}")

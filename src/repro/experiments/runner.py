@@ -118,6 +118,7 @@ def main(argv: list[str] | None = None) -> int:
                 kwargs["check_invariants"] = args.check_invariants
                 kwargs["overload"] = args.overload_actions
                 kwargs["adaptive_replication"] = args.adaptive_replication
+                kwargs["scenario_actions"] = args.scenario_actions
                 if args.steps is not None:
                     kwargs["steps"] = args.steps
             with obs.Timer(obs.histogram(f"experiment.{exp_id.lower()}_s")):

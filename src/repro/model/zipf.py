@@ -28,6 +28,7 @@ __all__ = [
     "zipf_sample",
     "zipf_cdf",
     "ZipfSampler",
+    "TimeVaryingZipfSampler",
     "top_mass_count",
     "mass_of_top",
     "estimate_theta",
@@ -96,6 +97,94 @@ class ZipfSampler:
         if size < 0:
             raise ValueError(f"size must be non-negative, got {size}")
         idx = self._cdf.searchsorted(rng.random(size), side="right")
+        return np.asarray(idx, dtype=np.int64)
+
+
+class TimeVaryingZipfSampler:
+    """A popularity law whose shape changes over simulated time.
+
+    Two kinds of non-stationarity compose (both from the scenario-engine
+    vocabulary; see :mod:`repro.scenario`):
+
+    * **drift** — the identity of the popular items rotates through the
+      rank order at ``drift_ranks_per_unit`` positions per time unit (a
+      pure permutation of the pmf, so mass is conserved trivially);
+    * **skew flips** — at time ``at`` the law becomes the convex mixture
+      ``(1 - mass) * old + mass * uniform(hot_indices)`` ("breaking
+      news": a small hot set suddenly carries ``mass`` of all requests).
+      A convex mixture of distributions is a distribution, so mass is
+      conserved here too.
+
+    ``pmf_at(t)`` is a pure function of ``t`` — the sampler holds no
+    mutable state, so replaying any time point yields the same law.
+    """
+
+    __slots__ = ("_pmf", "drift_ranks_per_unit", "flips")
+
+    def __init__(
+        self,
+        pmf: np.ndarray,
+        drift_ranks_per_unit: float = 0.0,
+        flips: tuple[tuple[float, float, tuple[int, ...]], ...] = (),
+    ) -> None:
+        """``flips`` entries are ``(at, mass, hot_indices)`` triples."""
+        pmf = np.asarray(pmf, dtype=np.float64)
+        if pmf.ndim != 1 or len(pmf) == 0:
+            raise ValueError("pmf must be a non-empty 1-D array")
+        if np.any(pmf < 0):
+            raise ValueError("pmf entries must be non-negative")
+        total = pmf.sum()
+        if total <= 0:
+            raise ValueError("pmf must have positive total mass")
+        if drift_ranks_per_unit < 0:
+            raise ValueError(
+                f"drift_ranks_per_unit must be non-negative, "
+                f"got {drift_ranks_per_unit}"
+            )
+        for at, mass, hot in flips:
+            if not 0.0 < mass < 1.0:
+                raise ValueError(f"flip mass must be in (0, 1), got {mass}")
+            if not hot:
+                raise ValueError(f"flip at t={at} names no hot indices")
+            for index in hot:
+                if not 0 <= index < len(pmf):
+                    raise ValueError(
+                        f"flip hot index {index} outside [0, {len(pmf)})"
+                    )
+        self._pmf = pmf / total
+        self._pmf.setflags(write=False)
+        self.drift_ranks_per_unit = float(drift_ranks_per_unit)
+        self.flips = tuple(sorted(flips, key=lambda flip: flip[0]))
+
+    def __len__(self) -> int:
+        return len(self._pmf)
+
+    def pmf_at(self, t: float) -> np.ndarray:
+        """The probability mass function in effect at time ``t``.
+
+        Sums to 1 and stays non-negative under any drift/flip composition
+        (property-tested in ``tests/test_scenario_properties.py``).
+        """
+        pmf = self._pmf
+        shift = int(self.drift_ranks_per_unit * t) % len(pmf)
+        if shift:
+            pmf = np.roll(pmf, shift)
+        for at, mass, hot in self.flips:
+            if t >= at:
+                boost = np.zeros(len(pmf))
+                boost[list(hot)] = 1.0 / len(hot)
+                pmf = (1.0 - mass) * pmf + mass * boost
+        return pmf
+
+    def sample(
+        self, rng: np.random.Generator, t: float, size: int
+    ) -> np.ndarray:
+        """Draw ``size`` 0-based item indices from the law at time ``t``."""
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        cdf = np.cumsum(self.pmf_at(t))
+        cdf /= cdf[-1]
+        idx = cdf.searchsorted(rng.random(size), side="right")
         return np.asarray(idx, dtype=np.int64)
 
 

@@ -97,6 +97,35 @@ class PeerConfig:
     service: ServiceConfig = ServiceConfig()
 
 
+@dataclass(frozen=True, slots=True)
+class MisbehaviorConfig:
+    """How an armed peer misbehaves (scenario-engine fault injection).
+
+    ``bogus_responses``
+        Answer every query with a fabricated document id and *no*
+        matching metadata.  Honest servers always ship one ``DocInfo``
+        per claimed doc (they serve from their own store), so the
+        requester-side integrity check rejects these without settling
+        the query — an armed failover deadline retries other members.
+    ``forge_infos``
+        Harden the bogus responses with complete fabricated metadata so
+        they pass the requester-side check.  Exists so tests can prove
+        the system-level ``response-integrity`` invariant catches what
+        the local check cannot.
+    ``stale_gossip``
+        Replay the DCRT digest captured at arming time in every
+        outgoing gossip push, forever.  Receivers ignore stale entries
+        by move-counter ordering, and the armed peer still merges
+        incoming corrections, so the damage is bounded to wasted bytes.
+    """
+
+    bogus_responses: bool = False
+    forge_infos: bool = False
+    stale_gossip: bool = False
+    #: fabricated doc ids start here, far above any real document.
+    bogus_doc_base: int = 10_000_000
+
+
 class PeerHooks:
     """Observation callbacks; the default implementation ignores everything.
 
@@ -110,6 +139,9 @@ class PeerHooks:
 
     def on_query_failed(self, peer: "Peer", query_id: int, reason: str) -> None:
         """A query could not even be dispatched (no live target known)."""
+
+    def on_bogus_response(self, peer: "Peer", response: m.QueryResponse) -> None:
+        """The peer rejected a response that failed the integrity check."""
 
     def on_document_stored(self, peer: "Peer", doc_id: int) -> None:
         """A peer stored a document (contribution, replica, or transfer)."""
@@ -301,6 +333,10 @@ class Peer:
         )
         #: (cluster, round) probes awaiting a leader's liveness reply.
         self._pending_probes: set[tuple[int, int]] = set()
+        #: armed misbehavior mode (scenario fault injection); None = honest.
+        self.misbehavior: MisbehaviorConfig | None = None
+        #: DCRT digest frozen at arming time (stale_gossip mode).
+        self._stale_gossip_digest: tuple | None = None
 
         self._dispatch = {
             "query": self._handle_query,
@@ -347,6 +383,17 @@ class Peer:
         if handler is None:
             raise ValueError(f"peer {self.node_id}: unknown kind {message.kind!r}")
         handler(message)
+
+    def arm_misbehavior(self, config: MisbehaviorConfig) -> None:
+        """Switch this peer into a misbehaving mode (scenario injection).
+
+        For ``stale_gossip`` the current DCRT snapshot is frozen now and
+        replayed in every future gossip push; the peer's *own* DCRT keeps
+        merging honestly, so only its outgoing digests lie.
+        """
+        self.misbehavior = config
+        if config.stale_gossip:
+            self._stale_gossip_digest = tuple(self.dcrt.snapshot().items())
 
     def _send(self, dst: int, kind: str, payload, size: int = m.CONTROL_SIZE) -> None:
         if self._reliability.enabled and kind in RELIABLE_KINDS:
@@ -680,6 +727,10 @@ class Peer:
             self._seen_queries.popitem(last=False)
             _G_SEEN_QUERIES.value -= 1
 
+        if self.misbehavior is not None and self.misbehavior.bogus_responses:
+            self._send_bogus_response(query)
+            return
+
         entry = self.dcrt.entry(query.category_id)
         serving_cluster = entry.cluster_id
         if serving_cluster not in self.memberships:
@@ -858,8 +909,53 @@ class Peer:
                     ),
                 )
 
+    def _send_bogus_response(self, query: m.QueryMessage) -> None:
+        """Answer with fabricated content (armed ``bogus_responses`` mode).
+
+        The fabricated doc id is claimed in ``doc_ids`` but — unless
+        ``forge_infos`` hardens the lie — no matching ``DocInfo`` ships,
+        which is exactly the asymmetry the requester-side integrity
+        check rejects (an honest server serves from its own store, so
+        its metadata always covers every claimed doc).
+        """
+        mis = self.misbehavior
+        fake_doc_id = mis.bogus_doc_base + query.query_id
+        infos: tuple[DocInfo, ...] = ()
+        if mis.forge_infos:
+            infos = (
+                DocInfo(
+                    doc_id=fake_doc_id,
+                    categories=(query.category_id,),
+                    size_bytes=m.CONTROL_SIZE,
+                ),
+            )
+        # Lazily registered: honest worlds never reach this path, so the
+        # counter stays out of their metric snapshots (and goldens).
+        obs.counter("overlay.bogus_responses_sent").inc()
+        self._send(
+            query.requester_id,
+            "query_response",
+            m.QueryResponse(
+                query_id=query.query_id,
+                doc_ids=(fake_doc_id,),
+                responder_id=self.node_id,
+                hops=query.hops,
+                doc_infos=infos,
+            ),
+        )
+
     def _handle_query_response(self, message: Message) -> None:
         response: m.QueryResponse = message.payload
+        if len(response.doc_infos) != len(response.doc_ids):
+            # Integrity check: an honest server builds ``doc_infos`` from
+            # the documents it actually holds, so metadata always covers
+            # every claimed doc id.  A mismatch means fabricated content —
+            # reject *without settling*, so an armed failover deadline
+            # keeps retrying other members.  (Counter registered lazily:
+            # honest runs never take this branch, keeping goldens intact.)
+            obs.counter("overlay.bogus_responses_rejected").inc()
+            self.hooks.on_bogus_response(self, response)
+            return
         state = self._query_attempts.pop(response.query_id, None)
         if state is not None:
             state.settled = True  # disarms any in-flight failover deadline
@@ -1598,13 +1694,22 @@ class Peer:
                 node=self.node_id,
                 partner=partner,
             )
+        entries = tuple(self.dcrt.snapshot().items())
+        if (
+            self.misbehavior is not None
+            and self.misbehavior.stale_gossip
+            and self._stale_gossip_digest is not None
+        ):
+            # Replay the digest frozen at arming time: the push half of
+            # push-pull spreads nothing new, but receivers ignore stale
+            # entries by move-counter and this peer still merges incoming
+            # corrections — so the blast radius is wasted bytes, not
+            # divergence (asserted by the gossip-convergence invariant).
+            entries = self._stale_gossip_digest
         self._send(
             partner,
             "gossip",
-            m.GossipDigest(
-                sender_id=self.node_id,
-                entries=tuple(self.dcrt.snapshot().items()),
-            ),
+            m.GossipDigest(sender_id=self.node_id, entries=entries),
             size=2 * m.CONTROL_SIZE,
         )
 

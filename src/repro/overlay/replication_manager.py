@@ -85,6 +85,9 @@ class ReplicationConfig:
     docs_per_replica: int = 4
     #: weight of one shed query relative to one served hit in pressure.
     shed_weight: float = 4.0
+    #: never place managed replicas on the system's designated free
+    #: riders (off by default — see :func:`repro.core.replication.plan_replication`).
+    exclude_free_riders: bool = False
 
     def __post_init__(self) -> None:
         if self.grow_threshold <= self.shrink_threshold:
@@ -312,6 +315,11 @@ class ReplicationManager:
         candidates = []
         for peer in system.peers_in_cluster(cluster_id):
             if peer.node_id in managed:
+                continue
+            if (
+                self.config.exclude_free_riders
+                and system.is_free_rider(peer.node_id)
+            ):
                 continue
             if all(
                 doc_id in peer.docs and not peer.cache_owns(doc_id)

@@ -18,6 +18,7 @@ examples use.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -35,7 +36,13 @@ from repro.overlay.adaptation import (
     AdaptationOutcome,
 )
 from repro.overlay.cluster import build_cluster_graph
-from repro.overlay.peer import DocInfo, Peer, PeerConfig, PeerHooks
+from repro.overlay.peer import (
+    DocInfo,
+    MisbehaviorConfig,
+    Peer,
+    PeerConfig,
+    PeerHooks,
+)
 from repro.overlay.replication_manager import (
     ReplicationConfig,
     ReplicationManager,
@@ -101,6 +108,18 @@ class _SystemHooks(PeerHooks):
         self.system = system
 
     def on_query_response(self, peer: Peer, response: m.QueryResponse) -> None:
+        system = self.system
+        if system._integrity_audit:
+            # Response-integrity audit (armed only when a peer has been
+            # marked misbehaving): an accepted response may only claim
+            # documents its responder has actually stored at some point.
+            for doc_id in response.doc_ids:
+                if (response.responder_id, doc_id) not in system._ever_stored:
+                    system._integrity_violations.append(
+                        f"node {response.responder_id} answered query "
+                        f"{response.query_id} claiming doc {doc_id} it "
+                        f"never stored"
+                    )
         record = self.system._queries.get(response.query_id)
         if record is None:
             return
@@ -125,6 +144,11 @@ class _SystemHooks(PeerHooks):
         # declared it failed — a late answer is still an answer.
         args["failed"] = False
 
+    def on_bogus_response(self, peer: Peer, response: m.QueryResponse) -> None:
+        self.system._bogus_rejections.append(
+            (response.responder_id, response.query_id)
+        )
+
     def on_query_failed(self, peer: Peer, query_id: int, reason: str) -> None:
         record = self.system._queries.get(query_id)
         if record is None:
@@ -139,6 +163,7 @@ class _SystemHooks(PeerHooks):
 
     def on_document_stored(self, peer: Peer, doc_id: int) -> None:
         self.system._doc_holders.setdefault(doc_id, set()).add(peer.node_id)
+        self.system._ever_stored.add((peer.node_id, doc_id))
         self.system._doc_holders_cache = None
 
     def on_document_dropped(self, peer: Peer, doc_id: int) -> None:
@@ -246,6 +271,22 @@ class P2PSystem:
         self._node_loads_cache: dict[int, int] | None = None
         self._doc_holders_cache: dict[int, set[int]] | None = None
         self._cluster_members_cache: dict[int, set[int]] | None = None
+        #: nodes that consume without contributing (``Node.is_free_rider``
+        #: at build time, plus empty-handed joiners); excluded from
+        #: replica placement and capacity accounting.
+        self._free_riders: set[int] = {
+            node_id
+            for node_id, node in instance.nodes.items()
+            if node.is_free_rider
+        }
+        #: misbehaving-peer bookkeeping — the response-integrity audit is
+        #: armed lazily (set_misbehavior / enable_integrity_audit) so
+        #: honest worlds pay nothing and run no extra invariant checks.
+        self._misbehaving: set[int] = set()
+        self._integrity_audit = False
+        self._integrity_violations: list[str] = []
+        self._ever_stored: set[tuple[int, int]] = set()
+        self._bogus_rejections: list[tuple[int, int]] = []
 
         self._bootstrap()
         #: demand-adaptive replication loop; None when disabled so the
@@ -473,6 +514,60 @@ class P2PSystem:
         """Sorted ids of peers that left or crashed out of the system."""
         return sorted(self._departed)
 
+    # ------------------------------------------------------------------
+    # free riders and misbehaving peers
+    # ------------------------------------------------------------------
+    def free_rider_ids(self) -> frozenset[int]:
+        """Node ids currently designated free riders (consume-only)."""
+        return frozenset(self._free_riders)
+
+    def is_free_rider(self, node_id: int) -> bool:
+        return node_id in self._free_riders
+
+    def contributing_capacity(self) -> float:
+        """Total capacity of alive, contributing (non-free-riding) peers."""
+        return sum(
+            self.instance.nodes[node_id].capacity_units
+            for node_id, peer in self._peers.items()
+            if node_id not in self._free_riders
+            and node_id not in self._departed
+            and self.network.is_alive(node_id)
+        )
+
+    def set_misbehavior(self, node_id: int, config: MisbehaviorConfig) -> None:
+        """Arm ``node_id`` with ``config`` (a :class:`MisbehaviorConfig`).
+
+        Arming any peer also arms the response-integrity audit so the
+        ``response-integrity`` invariant starts checking accepted
+        responses against the storage ledger.
+        """
+        peer = self._peers.get(node_id)
+        if peer is None:
+            raise ValueError(f"unknown node id {node_id}")
+        peer.arm_misbehavior(config)
+        self._misbehaving.add(node_id)
+        self.enable_integrity_audit()
+
+    def enable_integrity_audit(self) -> None:
+        """Start auditing accepted responses against the storage ledger."""
+        self._integrity_audit = True
+
+    @property
+    def misbehavior_armed(self) -> bool:
+        """True once the response-integrity audit is switched on."""
+        return self._integrity_audit
+
+    def misbehaving_node_ids(self) -> list[int]:
+        return sorted(self._misbehaving)
+
+    def integrity_failures(self) -> list[str]:
+        """Accepted responses that claimed never-stored documents (cumulative)."""
+        return list(self._integrity_violations)
+
+    def bogus_rejections(self) -> list[tuple[int, int]]:
+        """(responder_id, query_id) pairs rejected by requester-side checks."""
+        return list(self._bogus_rejections)
+
     def cluster_members_view(self) -> dict[int, set[int]]:
         """Snapshot of the system's authoritative cluster membership sets.
 
@@ -577,22 +672,37 @@ class P2PSystem:
         query_interval: float = 0.01,
         settle: bool = True,
         doc_targeted: bool = True,
+        at_times: Sequence[float] | None = None,
     ) -> list[QueryOutcome]:
         """Issue a query workload and return per-query outcomes.
 
-        Queries are spaced ``query_interval`` apart; with ``settle`` the
-        simulation runs to quiescence afterwards so all in-flight responses
-        land before outcomes are finalized.  ``doc_targeted`` requests the
-        workload's specific documents (the retrieval case, default);
-        disable it for category-level "any m results" queries.
+        Queries are spaced ``query_interval`` apart — or issued at the
+        explicit per-query offsets ``at_times`` (relative to now; one per
+        query, as produced by the scenario engine's event streams).  With
+        ``settle`` the simulation runs to quiescence afterwards so all
+        in-flight responses land before outcomes are finalized.
+        ``doc_targeted`` requests the workload's specific documents (the
+        retrieval case, default); disable it for category-level
+        "any m results" queries.
         """
+        queries = list(workload)
+        if at_times is not None and len(at_times) != len(queries):
+            raise ValueError(
+                f"at_times has {len(at_times)} entries for "
+                f"{len(queries)} queries"
+            )
         self._queries.clear()
         base_time = self.sim.now
-        for index, query in enumerate(workload):
+        for index, query in enumerate(queries):
             requester = self.peer(query.requester_id)
             if requester is None:
                 continue
-            issue_at = base_time + index * query_interval
+            offset = (
+                at_times[index]
+                if at_times is not None
+                else index * query_interval
+            )
+            issue_at = base_time + offset
             global_id = self._next_query_id
             self._next_query_id += 1
             record = _QueryRecord(
@@ -700,6 +810,12 @@ class P2PSystem:
         self._peers[node_id] = peer
         self._departed.discard(node_id)
         self._node_loads_cache = None
+        # A joiner that brings nothing is a free rider until it serves
+        # content; one that brings documents sheds the label.
+        if doc_infos:
+            self._free_riders.discard(node_id)
+        else:
+            self._free_riders.add(node_id)
         for info in doc_infos:
             peer.store_document(info)
         if bootstrap_id is None:

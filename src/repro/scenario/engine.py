@@ -1,0 +1,348 @@
+"""Deterministic expansion of a :class:`ScenarioSpec` into events.
+
+:func:`generate_events` turns a spec plus a built
+:class:`~repro.model.system.SystemInstance` into an :class:`EventStream`:
+a timestamped query workload plus timestamped control events (misbehavior
+arming, regional partitions and heals).  Consumers are the SCENARIO
+experiment (phased ``run_workload`` calls), the chaos harness (scenario
+actions draw on the same modulation math), and the ``scenario_step``
+micro benchmark.
+
+Determinism contract
+--------------------
+The stream is a pure function of ``(spec, instance)``:
+
+* the **stationary path** (no diurnal/drift/flips) consumes its RNG in
+  exactly the :func:`~repro.model.workload.make_query_workload` order, so
+  a stationary spec's queries are *identical* to today's workloads;
+* the **modulated path** discretizes time into ``spec.window`` slices and
+  issues a deterministic ``round(rate * window)`` queries per slice and
+  region — no Poisson draws, so counts never depend on float summation
+  order;
+* control events use their own salted seed streams, independent of the
+  query stream (adding a partition never perturbs the queries).
+
+``EventStream.canonical_bytes()`` renders the whole stream as canonical
+JSONL; the property suite asserts byte-identity across repeated
+generation and across a JSON spec round trip.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.system import SystemInstance
+from repro.model.workload import Query, QueryWorkload, make_query_workload
+from repro.model.zipf import TimeVaryingZipfSampler
+from repro.scenario.spec import ScenarioSpec
+
+__all__ = [
+    "ControlEvent",
+    "EventStream",
+    "rate_at",
+    "generate_events",
+    "designate_free_riders",
+]
+
+#: salts for the engine's independent seed streams — each deterministic
+#: sub-generator seeds ``default_rng([spec.seed, SALT])`` so enabling one
+#: modulator never shifts another's draws.
+_SALT_FLIPS = 1
+_SALT_MISBEHAVE = 2
+_SALT_FREE_RIDERS = 3
+
+#: float guard for the window loop's termination test.
+_EPS = 1e-12
+
+
+def _rng(seed: int, salt: int) -> np.random.Generator:
+    return np.random.default_rng([seed, salt])
+
+
+@dataclass(frozen=True, slots=True)
+class ControlEvent:
+    """A timestamped non-query action (``misbehave``/``partition``/``heal``).
+
+    ``params`` is a sorted tuple of JSON-safe key/value pairs, keeping the
+    event hashable and its canonical rendering stable.
+    """
+
+    time: float
+    kind: str
+    params: tuple[tuple[str, object], ...] = ()
+
+
+@dataclass(frozen=True)
+class EventStream:
+    """The expanded scenario: timestamped queries plus control events."""
+
+    spec: ScenarioSpec
+    workload: QueryWorkload
+    #: issue time of each query, aligned with ``workload.queries``.
+    times: tuple[float, ...]
+    controls: tuple[ControlEvent, ...]
+
+    def __len__(self) -> int:
+        return len(self.workload.queries)
+
+    def canonical_bytes(self) -> bytes:
+        """Canonical JSONL rendering — the byte-identity contract surface.
+
+        One line per event in stream order (queries first, then controls,
+        each already deterministically ordered), with sorted keys and
+        fixed separators so equal streams serialize to equal bytes.
+        """
+        lines = []
+        for time, query in zip(self.times, self.workload.queries):
+            lines.append(
+                json.dumps(
+                    {
+                        "t": time,
+                        "kind": "query",
+                        "query_id": query.query_id,
+                        "requester": query.requester_id,
+                        "doc": query.target_doc_id,
+                        "categories": list(query.category_ids),
+                        "m": query.m,
+                    },
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+            )
+        for control in self.controls:
+            lines.append(
+                json.dumps(
+                    {
+                        "t": control.time,
+                        "kind": control.kind,
+                        "params": dict(control.params),
+                    },
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+            )
+        return ("\n".join(lines) + "\n").encode("utf-8")
+
+
+def rate_at(spec: ScenarioSpec, t: float, region: int = 0) -> float:
+    """Instantaneous per-region request rate at time ``t``.
+
+    Non-negative for every valid spec: the diurnal factor is
+    ``1 + amplitude * sin(...)`` with ``amplitude <= 1`` by construction,
+    so the product cannot go below zero (the final ``max`` only absorbs
+    float rounding).
+    """
+    rate = spec.base_rate / spec.n_regions
+    diurnal = spec.diurnal
+    if diurnal is not None:
+        offset = 0.0
+        if diurnal.regional_offsets:
+            offset = diurnal.regional_offsets[
+                region % len(diurnal.regional_offsets)
+            ]
+        factor = 1.0 + diurnal.amplitude * math.sin(
+            2.0 * math.pi * (t / diurnal.period + diurnal.phase + offset)
+        )
+        rate *= factor
+    return max(0.0, rate)
+
+
+def _doc_sampler(
+    spec: ScenarioSpec, instance: SystemInstance
+) -> tuple[list[int], TimeVaryingZipfSampler]:
+    """The (doc ids, time-varying law) pair behind the modulated path."""
+    doc_ids = sorted(instance.documents)
+    popularity = np.array(
+        [instance.documents[doc_id].popularity for doc_id in doc_ids]
+    )
+    flips = []
+    if spec.flips:
+        flip_rng = _rng(spec.seed, _SALT_FLIPS)
+        for flip in spec.flips:
+            n_hot = min(flip.n_hot, len(doc_ids))
+            hot = flip_rng.choice(len(doc_ids), size=n_hot, replace=False)
+            flips.append(
+                (flip.at, flip.mass, tuple(int(index) for index in hot))
+            )
+    drift = spec.drift.ranks_per_unit if spec.drift is not None else 0.0
+    sampler = TimeVaryingZipfSampler(
+        popularity, drift_ranks_per_unit=drift, flips=tuple(flips)
+    )
+    return doc_ids, sampler
+
+
+def _region_members(spec: ScenarioSpec, instance: SystemInstance) -> list[list[int]]:
+    """Region ``r`` holds the nodes with ``node_id % n_regions == r``."""
+    regions: list[list[int]] = [[] for _ in range(spec.n_regions)]
+    for node_id in sorted(instance.nodes):
+        regions[node_id % spec.n_regions].append(node_id)
+    return regions
+
+
+def _modulated_queries(
+    spec: ScenarioSpec, instance: SystemInstance
+) -> tuple[QueryWorkload, tuple[float, ...]]:
+    """The non-stationary path: window-discretized, rate-modulated draws."""
+    rng = np.random.default_rng(spec.seed)
+    doc_ids, sampler = _doc_sampler(spec, instance)
+    regions = _region_members(spec, instance)
+    documents = instance.documents
+
+    queries: list[Query] = []
+    times: list[float] = []
+    query_id = 0
+    t = 0.0
+    while t < spec.duration - _EPS:
+        window = min(spec.window, spec.duration - t)
+        mid = t + window / 2.0
+        for region_id, members in enumerate(regions):
+            if not members:
+                continue
+            count = int(round(rate_at(spec, mid, region_id) * window))
+            if count <= 0:
+                continue
+            choices = sampler.sample(rng, mid, count)
+            requester_idx = rng.integers(0, len(members), size=count)
+            for j in range(count):
+                doc = documents[doc_ids[int(choices[j])]]
+                queries.append(
+                    Query(
+                        query_id=query_id,
+                        requester_id=members[int(requester_idx[j])],
+                        target_doc_id=doc.doc_id,
+                        category_ids=doc.categories,
+                        m=spec.m,
+                    )
+                )
+                times.append(t + (j + 0.5) * window / count)
+                query_id += 1
+        t += window
+
+    # Regions interleave within a window; sort jointly so issue times are
+    # non-decreasing (ties broken by generation order — deterministic).
+    order = sorted(range(len(queries)), key=lambda i: (times[i], i))
+    return (
+        QueryWorkload(queries=[queries[i] for i in order]),
+        tuple(times[i] for i in order),
+    )
+
+
+def _control_events(
+    spec: ScenarioSpec, instance: SystemInstance
+) -> tuple[ControlEvent, ...]:
+    controls: list[ControlEvent] = []
+    misbehavior = spec.misbehavior
+    if misbehavior is not None and (
+        misbehavior.n_bogus or misbehavior.n_stale_gossip
+    ):
+        rng = _rng(spec.seed, _SALT_MISBEHAVE)
+        node_ids = sorted(instance.nodes)
+        total = min(
+            misbehavior.n_bogus + misbehavior.n_stale_gossip, len(node_ids)
+        )
+        picks = rng.choice(len(node_ids), size=total, replace=False)
+        for k, index in enumerate(picks):
+            mode = "bogus" if k < misbehavior.n_bogus else "stale_gossip"
+            controls.append(
+                ControlEvent(
+                    time=float(misbehavior.at),
+                    kind="misbehave",
+                    params=(
+                        ("mode", mode),
+                        ("node_id", int(node_ids[int(index)])),
+                    ),
+                )
+            )
+    for partition in spec.partitions:
+        controls.append(
+            ControlEvent(
+                time=float(partition.at),
+                kind="partition",
+                params=(("region", int(partition.region)),),
+            )
+        )
+        controls.append(
+            ControlEvent(
+                time=float(partition.at + partition.duration), kind="heal"
+            )
+        )
+    controls.sort(key=lambda c: (c.time, c.kind, c.params))
+    return tuple(controls)
+
+
+def generate_events(
+    spec: ScenarioSpec, instance: SystemInstance
+) -> EventStream:
+    """Expand ``spec`` against ``instance`` into an :class:`EventStream`.
+
+    Stationary specs (no diurnal/drift/flips) delegate to
+    :func:`~repro.model.workload.make_query_workload` with the spec's seed
+    — same RNG stream, same queries — and space issues evenly over the
+    duration.  Modulated specs go through the windowed path.
+    """
+    if spec.is_stationary:
+        workload = make_query_workload(
+            instance, spec.n_queries, seed=spec.seed, m=spec.m
+        )
+        n = len(workload.queries)
+        interval = spec.duration / n if n else 0.0
+        times = tuple(i * interval for i in range(n))
+    else:
+        workload, times = _modulated_queries(spec, instance)
+    return EventStream(
+        spec=spec,
+        workload=workload,
+        times=times,
+        controls=_control_events(spec, instance),
+    )
+
+
+def designate_free_riders(
+    instance: SystemInstance, fraction: float, seed: int
+) -> tuple[int, ...]:
+    """Turn a seeded ``fraction`` of nodes into free riders, in place.
+
+    The chosen nodes hand every contribution to the remaining
+    contributors (round-robin), so documents and per-category popularity
+    are conserved and ``instance.validate()`` still passes; afterwards
+    each chosen node has ``Node.is_free_rider`` true, no
+    ``node_categories`` entry, and therefore no cluster membership — it
+    consumes queries while contributing no capacity or documents.
+
+    Returns the chosen node ids (sorted).  At least one contributor
+    always remains.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    node_ids = sorted(instance.nodes)
+    n_free = min(int(round(len(node_ids) * fraction)), len(node_ids) - 1)
+    if n_free <= 0:
+        return ()
+    rng = _rng(seed, _SALT_FREE_RIDERS)
+    picks = rng.choice(len(node_ids), size=n_free, replace=False)
+    free = sorted(node_ids[int(index)] for index in picks)
+    free_set = set(free)
+    recipients = [
+        node_id for node_id in node_ids if node_id not in free_set
+    ]
+    next_recipient = 0
+    for node_id in free:
+        node = instance.nodes[node_id]
+        for doc_id in list(node.contributed_doc_ids):
+            recipient_id = recipients[next_recipient % len(recipients)]
+            next_recipient += 1
+            recipient = instance.nodes[recipient_id]
+            recipient.contribute(doc_id)
+            cats = instance.node_categories.setdefault(recipient_id, [])
+            for category_id in instance.documents[doc_id].categories:
+                if category_id not in cats:
+                    cats.append(category_id)
+                    cats.sort()
+            node.stored_doc_ids.discard(doc_id)
+        node.contributed_doc_ids.clear()
+        instance.node_categories.pop(node_id, None)
+    return tuple(free)
