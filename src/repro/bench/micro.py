@@ -171,6 +171,69 @@ def _replication_rounds_fn(n_rounds: int):
     return fn
 
 
+def _chunk_fetch_fn(n_fetches: int):
+    # The content data plane's hot path: a multi-source fetch resolves
+    # per-chunk sources rarest-first, requests every chunk, verifies
+    # hashes, and stores the document.  Fetches rotate over documents
+    # and requesters so each one does real work (the requester must not
+    # already hold the target).
+    from repro.content.chunks import ContentConfig
+    from repro.core.maxfair import maxfair
+    from repro.core.popularity import build_category_stats
+    from repro.core.replication import plan_replication
+    from repro.model.system import SystemConfig, build_system
+    from repro.overlay.system import P2PSystem, P2PSystemConfig
+
+    def fn():
+        instance = build_system(SystemConfig(
+            seed=7,
+            n_docs=200,
+            n_nodes=12,
+            n_categories=12,
+            n_clusters=4,
+            doc_size_bytes=262_144,
+        ))
+        stats = build_category_stats(instance)
+        assignment = maxfair(instance, stats=stats)
+        plan = plan_replication(instance, assignment, n_reps=2, hot_mass=0.35)
+        system = P2PSystem(
+            instance,
+            assignment,
+            plan=plan,
+            config=P2PSystemConfig(
+                seed=7,
+                content=ContentConfig(enabled=True),
+            ),
+        )
+        manager = system.content
+        doc_ids = sorted(manager.manifests)
+        alive = [peer.node_id for peer in system.alive_peers()]
+        started = 0
+        attempt = 0
+        # Walk every (document, requester) pair exactly once per cycle: a
+        # pair only yields no work when the requester already holds the
+        # document, so progress is guaranteed until holders saturate.
+        max_attempts = len(doc_ids) * len(alive)
+        while started < n_fetches and attempt < max_attempts:
+            doc_id = doc_ids[attempt % len(doc_ids)]
+            requester = alive[(attempt // len(doc_ids)) % len(alive)]
+            attempt += 1
+            fetch_id = manager.fetch(requester, doc_id)
+            if fetch_id is None:
+                continue
+            started += 1
+            system.sim.run()
+        assert started == n_fetches, (started, n_fetches)
+        records = manager.fetch_ledger()
+        assert all(
+            record.completed_at is not None and record.verified
+            for record in records
+        ), "bench fetches must all complete verified"
+        return {"chunk_fetches_per_s": float(started)}
+
+    return fn
+
+
 def _scenario_step_fn(n_events: int):
     # The scenario engine's expansion hot path: one fully-modulated spec
     # (diurnal + regional offsets + drift + a skew flip) expanded into a
@@ -240,6 +303,7 @@ def specs(size: float = 1.0) -> list[BenchSpec]:
     n_samples = max(10_000, int(200_000 * size))
     n_service = max(2000, int(20_000 * size))
     n_rounds = max(40, int(400 * size))
+    n_fetches = max(50, int(400 * size))
     n_scenario = max(5_000, int(50_000 * size))
     return [
         BenchSpec(
@@ -284,6 +348,17 @@ def specs(size: float = 1.0) -> list[BenchSpec]:
             unit=f"s / {n_rounds} control rounds",
             fn=_replication_rounds_fn(n_rounds),
             post=_rate_post("replication_rounds_per_s"),
+        ),
+        BenchSpec(
+            name="chunk_fetch",
+            kind="micro",
+            description=(
+                "multi-source chunk fetches (rarest-first scheduling + "
+                "hash verification + store)"
+            ),
+            unit=f"s / {n_fetches} fetches",
+            fn=_chunk_fetch_fn(n_fetches),
+            post=_rate_post("chunk_fetches_per_s"),
         ),
         BenchSpec(
             name="scenario_step",

@@ -22,6 +22,7 @@ import numpy as np
 from repro import obs
 from repro.chaos.invariants import InvariantChecker, Violation
 from repro.chaos.scenario import Schedule, ScenarioConfig
+from repro.content import ContentConfig
 from repro.core.maxfair import maxfair
 from repro.core.popularity import build_category_stats
 from repro.core.replication import plan_replication
@@ -132,6 +133,11 @@ class ChaosRunner:
             if config.adaptive_replication
             else ReplicationConfig()
         )
+        content = (
+            ContentConfig(enabled=True, replication_floor=config.content_floor)
+            if config.content
+            else ContentConfig()
+        )
         self.system = P2PSystem(
             self.instance,
             assignment,
@@ -141,6 +147,7 @@ class ChaosRunner:
                 reliability=reliability,
                 service=service,
                 replication=replication,
+                content=content,
                 cache_capacity=8 if config.adaptive_replication else 0,
             ),
         )
@@ -181,6 +188,13 @@ class ChaosRunner:
                     # the resulting transfers land before the next entry
                     # (and before the quiescence invariant pass).
                     self.system.run_replication_round()
+                if self.config.content:
+                    # One data-plane round per entry: a background fetch
+                    # keeps the multi-source scheduler (and its hash
+                    # verification against whatever the entry corrupted)
+                    # under constant exercise, then one healing scan
+                    # re-replicates chunks churn pushed below the floor.
+                    self._content_round()
         finally:
             if self._unregister is not None:
                 self._unregister()
@@ -460,6 +474,58 @@ class ChaosRunner:
         self.system.sim.run()
         return True
 
+    # -- content data-plane actions (ScenarioConfig.content) ------------
+    def _content_round(self) -> None:
+        """One background fetch plus one healing scan (content worlds)."""
+        manager = self.system.content
+        if manager is None:
+            return
+        rng = self.system.rngs.stream("content.fetch")
+        alive = self._alive_ids()
+        doc_ids = sorted(manager.manifests)
+        if alive and doc_ids:
+            requester = alive[int(rng.integers(0, len(alive)))]
+            doc_id = doc_ids[int(rng.integers(0, len(doc_ids)))]
+            manager.fetch(requester, doc_id)
+            self.system.sim.run()
+        self.system.run_healing_round()
+
+    def _do_corrupt_chunk(
+        self, step: int, rank: int, doc_rank: int, chunk_rank: int
+    ) -> bool:
+        # Flip one chunk's stored bytes on one live replica: the next
+        # fetch routed there must catch the hash mismatch, fail over,
+        # and read-repair the corrupt copy.
+        manager = self.system.content
+        if manager is None:
+            return False
+        candidates = [
+            (doc_id, holders)
+            for doc_id in sorted(manager.manifests)
+            if (holders := manager.live_holders(doc_id))
+        ]
+        if not candidates:
+            return False
+        doc_id, holders = candidates[doc_rank % len(candidates)]
+        holder = holders[rank % len(holders)]
+        state = self.system.peer(holder).content_state
+        if state is None:
+            return False
+        index = chunk_rank % manager.manifests[doc_id].n_chunks
+        return state.mark_corrupt(doc_id, index)
+
+    def _do_graceful_shutdown(self, step: int, rank: int) -> bool:
+        alive = self._alive_ids()
+        if len(alive) <= self.config.min_alive:
+            return False
+        node_id = alive[rank % len(alive)]
+        peer = self.system.peer(node_id)
+        docs_before = sorted(peer.docs) if peer is not None else []
+        ok = self.system.shutdown_node(node_id)
+        if ok and self.check_invariants:
+            self.checker.check_graceful_shutdown(node_id, docs_before)
+        return ok
+
     def _do_adapt(self, step: int) -> bool:
         outcome = self.system.run_adaptation(round_id=step)
         if self.check_invariants:
@@ -474,6 +540,16 @@ class ChaosRunner:
         self.report.settle_rounds += rounds
         if self.check_invariants:
             self.checker.check_convergence()
+        if self.config.content:
+            # Heal until a scan starts no new fetch (the healer's per-round
+            # budget can leave a backlog), then demand every surviving
+            # document meet the availability floor.
+            for _ in range(MAX_SETTLE_ROUNDS):
+                report = self.system.run_healing_round()
+                if report is None or not report["fetches"]:
+                    break
+            if self.check_invariants:
+                self.checker.check_chunk_availability()
         return True
 
 

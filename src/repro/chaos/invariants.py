@@ -74,6 +74,25 @@ When misbehaving peers have been armed
     responder actually stored at some point — fabricated content must be
     rejected at the requester or it is a violation.
 
+When the content data plane runs (:attr:`P2PSystem.content_enabled`),
+two structural checks join the quiescence set and two event-driven ones
+are invoked by the harness:
+
+``manifest-consistency``
+    Every registered manifest's chunk hashes match the content-derived
+    hashes for its document, the hash count matches the chunk count its
+    size implies, and its version never goes backwards (structural).
+``fetch-integrity``
+    Every fetch the ledger marks completed verified all of its chunks,
+    and the hashes it verified are exactly the manifest's (structural).
+``chunk-availability``
+    After healing runs dry at the cooldown's convergence point, every
+    document that still has at least one live holder has at least
+    ``min(replication_floor, live peers)`` of them (event-driven).
+``no-sole-holder-loss``
+    A graceful shutdown leaves every document the leaver held with at
+    least one other live holder (event-driven, checked per shutdown).
+
 Structural checks run from the simulator's quiescence hook; the last
 three of the base set are event-driven, invoked by the harness when a
 workload, convergence window, or adaptation round completes.
@@ -96,6 +115,7 @@ __all__ = [
     "OVERLOAD_INVARIANTS",
     "REPLICATION_INVARIANTS",
     "INTEGRITY_INVARIANTS",
+    "CONTENT_INVARIANTS",
 ]
 
 #: invariants evaluated at every quiescent step (vs. event-driven ones).
@@ -121,6 +141,15 @@ REPLICATION_INVARIANTS = ("replication-bounds",)
 
 #: extra structural invariant checked once misbehavior is armed.
 INTEGRITY_INVARIANTS = ("response-integrity",)
+
+#: invariants checked when the content data plane is enabled (the first
+#: two structural, the last two event-driven).
+CONTENT_INVARIANTS = (
+    "manifest-consistency",
+    "fetch-integrity",
+    "chunk-availability",
+    "no-sole-holder-loss",
+)
 
 _EPS = 1e-9
 
@@ -163,6 +192,11 @@ class InvariantChecker:
         #: how many integrity failures have already been reported — the
         #: system's list is cumulative, so only the tail is new each step.
         self._integrity_cursor = 0
+        #: doc_id -> highest manifest version seen (monotonicity mark).
+        self._manifest_marks: dict[int, int] = {}
+        #: how many fetch-ledger records have already been audited — the
+        #: ledger is append-only, so only the settled tail is new.
+        self._fetch_cursor = 0
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -219,6 +253,11 @@ class InvariantChecker:
         # armed: honest worlds run no extra checks, keeping goldens.
         if self.system.misbehavior_armed:
             self._run("response-integrity", self._check_response_integrity)
+        # Content checks are gated the same way: chunk-free worlds run
+        # no extra checks, keeping their goldens byte-identical.
+        if self.system.content_enabled:
+            self._run("manifest-consistency", self._check_manifests)
+            self._run("fetch-integrity", self._check_fetch_integrity)
 
     def _check_unique_ownership(self):
         assignment = self.system.assignment
@@ -412,9 +451,117 @@ class InvariantChecker:
         self._integrity_cursor = len(failures)
         yield from new
 
+    def _check_manifests(self):
+        """Every manifest's hashes are content-derived and its version
+        only ever advances."""
+        from repro.content import chunk_hash, n_chunks
+
+        manager = self.system.content
+        for doc_id in sorted(manager.manifests):
+            manifest = manager.manifests[doc_id]
+            expected = n_chunks(manifest.size_bytes, manifest.chunk_size)
+            if manifest.n_chunks != expected:
+                yield (
+                    f"doc {doc_id} manifest lists {manifest.n_chunks} "
+                    f"chunks but its size implies {expected}"
+                )
+            for index, value in enumerate(manifest.chunk_hashes):
+                if value != chunk_hash(doc_id, index):
+                    yield (
+                        f"doc {doc_id} manifest hash for chunk {index} "
+                        f"is not content-derived"
+                    )
+            previous = self._manifest_marks.get(doc_id, -1)
+            if manifest.version < previous:
+                yield (
+                    f"doc {doc_id} manifest version went "
+                    f"{previous} -> {manifest.version}"
+                )
+            else:
+                self._manifest_marks[doc_id] = manifest.version
+
+    def _check_fetch_integrity(self):
+        """Every settled completed fetch verified exactly the manifest's
+        hashes (the ledger is append-only; audit only the new tail)."""
+        manager = self.system.content
+        records = manager.records
+        cursor = self._fetch_cursor
+        # Advance the cursor over the settled prefix only: in-flight
+        # records at the boundary get re-audited next pass instead of
+        # being skipped forever.
+        while cursor < len(records) and records[cursor].settled:
+            cursor += 1
+        for record in records[self._fetch_cursor : cursor]:
+            if record.failed:
+                continue
+            if not record.verified:
+                yield (
+                    f"fetch {record.fetch_id} of doc {record.doc_id} "
+                    f"completed without verification"
+                )
+                continue
+            manifest = manager.manifests.get(record.doc_id)
+            if manifest is None:
+                yield (
+                    f"fetch {record.fetch_id} completed for unknown doc "
+                    f"{record.doc_id}"
+                )
+            elif record.chunk_hashes != manifest.chunk_hashes:
+                yield (
+                    f"fetch {record.fetch_id} of doc {record.doc_id} "
+                    f"verified hashes that differ from the manifest"
+                )
+        self._fetch_cursor = cursor
+
     # ------------------------------------------------------------------
     # event-driven checks
     # ------------------------------------------------------------------
+    def check_chunk_availability(self) -> None:
+        """Availability floor: after healing has run dry, every document
+        that still exists on some live node has at least
+        ``min(replication_floor, live peers)`` live holders."""
+
+        def check():
+            manager = self.system.content
+            if manager is None:
+                return
+            floor = min(
+                manager.config.replication_floor,
+                len(self.system.alive_peers()),
+            )
+            for doc_id in sorted(manager.manifests):
+                holders = manager.live_holders(doc_id)
+                if not holders:
+                    continue  # unrepairable: no live copy to heal from
+                if len(holders) < floor:
+                    yield (
+                        f"doc {doc_id} has {len(holders)} live holders "
+                        f"after healing ran dry (floor {floor})"
+                    )
+
+        self._run("chunk-availability", check)
+
+    def check_graceful_shutdown(self, leaver_id: int, doc_ids) -> None:
+        """No sole-holder loss: after ``leaver_id`` shut down cleanly,
+        every document it held has at least one other live holder."""
+
+        def check():
+            network = self.system.network
+            holders_view = self.system.doc_holders_view()
+            for doc_id in doc_ids:
+                survivors = [
+                    node_id
+                    for node_id in holders_view.get(doc_id, ())
+                    if node_id != leaver_id and network.is_alive(node_id)
+                ]
+                if not survivors:
+                    yield (
+                        f"graceful shutdown of node {leaver_id} lost the "
+                        f"last live copy of doc {doc_id}"
+                    )
+
+        self._run("no-sole-holder-loss", check)
+
     def check_outcomes(self, outcomes) -> None:
         """Query termination: every issued query has exactly one fate."""
 

@@ -24,6 +24,8 @@ __all__ = [
     "OVERLOAD_ACTION_WEIGHTS",
     "SCENARIO_EXTRA_ACTIONS",
     "SCENARIO_ACTION_WEIGHTS",
+    "CONTENT_EXTRA_ACTIONS",
+    "CONTENT_ACTION_WEIGHTS",
     "ScenarioConfig",
     "ScheduleEntry",
     "Schedule",
@@ -78,6 +80,23 @@ SCENARIO_ACTION_WEIGHTS: tuple[tuple[str, float], ...] = (
     DEFAULT_ACTION_WEIGHTS + SCENARIO_EXTRA_ACTIONS
 )
 
+#: the content-data-plane actions (PR 8): replica corruption and
+#: graceful shutdowns that must hand off sole-holder chunks before
+#: leaving.  A separate tuple for the same golden-preserving reason as
+#: the tuples above — appending to the default weights would shift
+#: every existing schedule's RNG draws.
+CONTENT_EXTRA_ACTIONS: tuple[tuple[str, float], ...] = (
+    ("corrupt_chunk", 1.5),
+    ("graceful_shutdown", 1.0),
+)
+
+#: the default weights plus the content actions (opt-in via
+#: ``ScenarioConfig(content=True,
+#: action_weights=CONTENT_ACTION_WEIGHTS)``).
+CONTENT_ACTION_WEIGHTS: tuple[tuple[str, float], ...] = (
+    DEFAULT_ACTION_WEIGHTS + CONTENT_EXTRA_ACTIONS
+)
+
 
 @dataclass(frozen=True, slots=True)
 class ScenarioConfig:
@@ -126,6 +145,16 @@ class ScenarioConfig:
     scenario_actions: bool = False
     #: queries per ``diurnal_burst`` entry before rate modulation.
     diurnal_burst_max: int = 30
+    #: build the world with the content data plane (chunked documents,
+    #: multi-source fetches, read-repair, anti-entropy healing) enabled,
+    #: run a fetch-and-heal round after every schedule entry, and arm
+    #: the ``corrupt_chunk`` / ``graceful_shutdown`` action handlers.
+    #: Pair with ``CONTENT_ACTION_WEIGHTS`` so those actions appear in
+    #: generated schedules.
+    content: bool = False
+    #: healing floor for content worlds: anti-entropy re-replicates any
+    #: document whose live holder count fell below this.
+    content_floor: int = 2
     action_weights: tuple[tuple[str, float], ...] = DEFAULT_ACTION_WEIGHTS
 
 
@@ -258,6 +287,19 @@ def _draw_params(action: str, rng, config: ScenarioConfig) -> dict:
     if action == "regional_partition":
         # Correlated outage: one whole cluster drops off the network.
         return {"region": int(rng.integers(0, config.n_clusters))}
+    if action == "corrupt_chunk":
+        # Flip the stored bytes of one chunk on one replica: the next
+        # fetch that hits it must detect the hash mismatch, fail over,
+        # and push the correct chunk back (read-repair).
+        return {
+            "rank": int(rng.integers(0, 1_000_000)),
+            "doc_rank": int(rng.integers(0, 1_000_000)),
+            "chunk_rank": int(rng.integers(0, 64)),
+        }
+    if action == "graceful_shutdown":
+        # Clean departure through the drain-and-handoff path: no
+        # sole-holder chunk may be lost, unlike a crash.
+        return {"rank": int(rng.integers(0, 1_000_000))}
     if action == "retry_storm":
         # Drop reliable request kinds hard enough to force retransmission
         # chains (and some give-ups) across many concurrent deliveries.

@@ -1,0 +1,354 @@
+"""Per-document manifests and the deployment-level content manager.
+
+The manifest is the content data plane's unit of metadata: the chunk
+list (as content hashes), the document size, and a version that
+read-repair bumps whenever a fetch pushed correct chunks back to a
+stale or corrupt replica.  Manifests are registered alongside the
+cluster metadata the deployment already keeps (the holder index behind
+``PeerHooks.lookup_holders``), so the fetch scheduler resolves sources
+from the same ground truth replica lookups use.
+
+:class:`ContentManager` is constructed by :class:`~repro.overlay.system.
+P2PSystem` only when ``ContentConfig.enabled`` — like the service and
+replication subsystems, a disabled data plane builds nothing, registers
+no metrics, and draws no randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from itertools import count
+from typing import TYPE_CHECKING
+
+from repro import obs
+from repro.content.chunks import (
+    ContentConfig,
+    chunk_bytes,
+    chunk_hash,
+    n_chunks,
+)
+from repro.content.healer import ContentHealer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.overlay import messages as m
+    from repro.overlay.peer import DocInfo, Peer
+    from repro.overlay.system import P2PSystem
+
+__all__ = [
+    "ContentManager",
+    "FetchRecord",
+    "Manifest",
+    "build_manifest",
+    "manifest_from_update",
+    "manifest_to_update",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Manifest:
+    """Immutable snapshot of a document's chunk metadata."""
+
+    doc_id: int
+    size_bytes: int
+    chunk_size: int
+    version: int
+    chunk_hashes: tuple[int, ...]
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunk_hashes)
+
+    def chunk_bytes(self, index: int) -> int:
+        return chunk_bytes(self.size_bytes, index, self.chunk_size)
+
+
+def build_manifest(
+    doc_id: int,
+    size_bytes: int,
+    chunk_size: int,
+    version: int = 0,
+) -> Manifest:
+    """Derive the manifest of a document from its identity and size."""
+    total = n_chunks(size_bytes, chunk_size)
+    return Manifest(
+        doc_id=doc_id,
+        size_bytes=size_bytes,
+        chunk_size=chunk_size,
+        version=version,
+        chunk_hashes=tuple(chunk_hash(doc_id, i) for i in range(total)),
+    )
+
+
+def manifest_to_update(manifest: Manifest, holders=()) -> "m.ManifestUpdate":
+    """Encode a manifest (plus a holder hint) as a wire message."""
+    from repro.overlay import messages as m
+
+    return m.ManifestUpdate(
+        doc_id=manifest.doc_id,
+        size_bytes=manifest.size_bytes,
+        chunk_size=manifest.chunk_size,
+        version=manifest.version,
+        chunk_hashes=manifest.chunk_hashes,
+        holders=tuple(sorted(holders)),
+    )
+
+
+def manifest_from_update(update: "m.ManifestUpdate") -> Manifest:
+    """Decode a :class:`~repro.overlay.messages.ManifestUpdate`."""
+    return Manifest(
+        doc_id=update.doc_id,
+        size_bytes=update.size_bytes,
+        chunk_size=update.chunk_size,
+        version=update.version,
+        chunk_hashes=tuple(update.chunk_hashes),
+    )
+
+
+@dataclass(slots=True)
+class FetchRecord:
+    """Ledger entry for one multi-source fetch (user, heal, or replicate)."""
+
+    fetch_id: int
+    doc_id: int
+    requester_id: int
+    n_chunks: int
+    purpose: str
+    started_at: float
+    manifest_version: int
+    completed_at: float | None = None
+    verified: bool = False
+    failed: bool = False
+    failure: str = ""
+    failovers: int = 0
+    repairs: int = 0
+    bytes_fetched: int = 0
+    #: per-chunk hashes as received and verified, set on completion.
+    chunk_hashes: tuple[int, ...] = ()
+
+    @property
+    def settled(self) -> bool:
+        return self.completed_at is not None or self.failed
+
+
+class ContentManager:
+    """Deployment-wide manifest registry, fetch ledger, and healer.
+
+    Holder ground truth is the deployment's existing replica index
+    (``P2PSystem._doc_holders``, maintained by the store/drop hooks);
+    the manager adds the chunk-level view on top: manifests, partial
+    holders (peers mid-fetch that can already serve some chunks), and
+    the append-only fetch ledger the integrity invariant audits.
+    """
+
+    def __init__(self, system: "P2PSystem", config: ContentConfig) -> None:
+        self.system = system
+        self.config = config
+        #: doc id -> current manifest (version bumps replace the entry).
+        self.manifests: dict[int, Manifest] = {}
+        #: doc id -> DocInfo used to re-materialize the document at a
+        #: fetch's destination (categories + authoritative size).
+        self._infos: dict[int, "DocInfo"] = {}
+        #: doc id -> node id -> chunk indexes held partially (in-flight
+        #: or abandoned fetches); full holders are *not* listed here.
+        self.partials: dict[int, dict[int, set[int]]] = {}
+        #: append-only fetch ledger (the integrity invariant keeps a
+        #: cursor into this list, so entries are never removed).
+        self.records: list[FetchRecord] = []
+        self._records_by_id: dict[int, FetchRecord] = {}
+        self._next_fetch_id = count(1)
+        self.healer = ContentHealer(self)
+        # process-wide totals; registered here, lazily, so content-off
+        # runs keep their metric snapshots byte-identical.
+        self._c_fetches = obs.counter("content.fetches")
+        self._c_completed = obs.counter("content.fetches_completed")
+        self._c_failed = obs.counter("content.fetches_failed")
+        self._c_failovers = obs.counter("content.chunk_failovers")
+        self._c_repairs = obs.counter("content.read_repairs")
+        self._c_heal = obs.counter("content.heal_fetches")
+        self._c_bytes = obs.counter("content.bytes_fetched")
+        for doc in system.instance.documents.values():
+            self._register(doc.doc_id, doc.size_bytes)
+
+    # ------------------------------------------------------------------
+    # manifests
+    # ------------------------------------------------------------------
+    def _register(self, doc_id: int, size_bytes: int) -> Manifest:
+        manifest = build_manifest(doc_id, size_bytes, self.config.chunk_size)
+        self.manifests[doc_id] = manifest
+        return manifest
+
+    def manifest_for(self, doc_id: int) -> Manifest | None:
+        """The current manifest of ``doc_id``, or None if unknown."""
+        return self.manifests.get(doc_id)
+
+    def note_stored(self, peer: "Peer", doc_id: int) -> None:
+        """Hook relay: a peer stored ``doc_id`` (publish, transfer, fetch).
+
+        First sight of a chaos-published document registers its manifest;
+        a node holding the full document no longer counts as partial.
+        """
+        info = peer.docs.get(doc_id)
+        if doc_id not in self.manifests and info is not None:
+            self._register(doc_id, info.size_bytes)
+        if doc_id not in self._infos and info is not None:
+            self._infos[doc_id] = info
+        self.drop_partial(peer.node_id, doc_id)
+
+    def doc_info(self, doc_id: int) -> "DocInfo | None":
+        """The DocInfo a fetch destination should store on completion."""
+        info = self._infos.get(doc_id)
+        if info is not None:
+            return info
+        from repro.overlay.peer import DocInfo
+
+        try:
+            doc = self.system.instance.documents[doc_id]
+        except (IndexError, KeyError):
+            return None
+        if doc.doc_id != doc_id:
+            return None
+        info = DocInfo(
+            doc_id=doc_id,
+            categories=tuple(doc.categories),
+            size_bytes=doc.size_bytes,
+        )
+        self._infos[doc_id] = info
+        return info
+
+    def bump_version(self, doc_id: int) -> int:
+        """Read-repair pushed correct chunks back: advance the version."""
+        manifest = self.manifests.get(doc_id)
+        if manifest is None:
+            return 0
+        manifest = replace(manifest, version=manifest.version + 1)
+        self.manifests[doc_id] = manifest
+        self._c_repairs.inc()
+        return manifest.version
+
+    # ------------------------------------------------------------------
+    # holders
+    # ------------------------------------------------------------------
+    def live_holders(self, doc_id: int) -> list[int]:
+        """Sorted live nodes holding the *full* document."""
+        network = self.system.network
+        return sorted(
+            node_id
+            for node_id in self.system._doc_holders.get(doc_id, ())
+            if network.is_alive(node_id)
+        )
+
+    def chunk_sources(self, doc_id: int) -> dict[int, tuple[int, ...]]:
+        """Per-chunk live sources: full holders plus partial holders."""
+        manifest = self.manifests.get(doc_id)
+        if manifest is None:
+            return {}
+        full = self.live_holders(doc_id)
+        sources = {index: list(full) for index in range(manifest.n_chunks)}
+        network = self.system.network
+        for node_id, held in self.partials.get(doc_id, {}).items():
+            if node_id in full or not network.is_alive(node_id):
+                continue
+            for index in held:
+                if index in sources:
+                    sources[index].append(node_id)
+        return {
+            index: tuple(sorted(nodes)) for index, nodes in sources.items()
+        }
+
+    def note_partial(self, node_id: int, doc_id: int, index: int) -> None:
+        self.partials.setdefault(doc_id, {}).setdefault(node_id, set()).add(
+            index
+        )
+
+    def drop_partial(self, node_id: int, doc_id: int) -> None:
+        held = self.partials.get(doc_id)
+        if held is not None:
+            held.pop(node_id, None)
+            if not held:
+                self.partials.pop(doc_id, None)
+
+    # ------------------------------------------------------------------
+    # fetches
+    # ------------------------------------------------------------------
+    def fetch(
+        self, requester_id: int, doc_id: int, purpose: str = "fetch"
+    ) -> int | None:
+        """Start a multi-source fetch of ``doc_id`` at ``requester_id``.
+
+        Returns the fetch id, or None when there is nothing to do (the
+        requester already holds the document, is not alive, or the
+        document is unknown).  A fetch with no live sources *is* started
+        and immediately recorded as failed — unavailability must show up
+        in the ledger, not vanish silently.
+        """
+        peer = self.system.peer(requester_id)
+        if peer is None or not self.system.network.is_alive(requester_id):
+            return None
+        state = peer.content_state
+        if state is None:
+            return None
+        if doc_id in peer.docs:
+            return None
+        manifest = self.manifests.get(doc_id)
+        info = self.doc_info(doc_id)
+        if manifest is None or info is None:
+            return None
+        fetch_id = next(self._next_fetch_id)
+        record = FetchRecord(
+            fetch_id=fetch_id,
+            doc_id=doc_id,
+            requester_id=requester_id,
+            n_chunks=manifest.n_chunks,
+            purpose=purpose,
+            started_at=self.system.sim.now,
+            manifest_version=manifest.version,
+        )
+        self.records.append(record)
+        self._records_by_id[fetch_id] = record
+        self._c_fetches.inc()
+        if purpose == "heal":
+            self._c_heal.inc()
+        state.start_fetch(fetch_id, info, manifest, index=self)
+        return fetch_id
+
+    def record_for(self, fetch_id: int) -> FetchRecord | None:
+        return self._records_by_id.get(fetch_id)
+
+    def fetch_ledger(self) -> tuple[FetchRecord, ...]:
+        return tuple(self.records)
+
+    # callbacks from the per-peer fetchers -----------------------------
+    def on_chunk_failover(self, fetch_id: int) -> None:
+        self._c_failovers.inc()
+        record = self._records_by_id.get(fetch_id)
+        if record is not None:
+            record.failovers += 1
+
+    def on_read_repair(self, fetch_id: int, doc_id: int) -> int:
+        version = self.bump_version(doc_id)
+        record = self._records_by_id.get(fetch_id)
+        if record is not None:
+            record.repairs += 1
+            record.manifest_version = version
+        return version
+
+    def on_fetch_complete(
+        self, fetch_id: int, chunk_hashes: tuple[int, ...], bytes_fetched: int
+    ) -> None:
+        record = self._records_by_id.get(fetch_id)
+        if record is None or record.settled:
+            return
+        record.completed_at = self.system.sim.now
+        record.verified = True
+        record.chunk_hashes = chunk_hashes
+        record.bytes_fetched = bytes_fetched
+        self._c_completed.inc()
+        self._c_bytes.value += bytes_fetched
+
+    def on_fetch_failed(self, fetch_id: int, reason: str) -> None:
+        record = self._records_by_id.get(fetch_id)
+        if record is None or record.settled:
+            return
+        record.failed = True
+        record.failure = reason
+        self._c_failed.inc()

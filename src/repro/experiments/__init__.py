@@ -20,6 +20,7 @@
 | OVERLOAD | goodput vs offered load, shedding on/off | ``overload``  |
 | CACHE-QOS | static vs adaptive replication, flash crowd | ``cache_qos`` |
 | SCENARIO | declarative workload-scenario matrix (no fig.) | ``scenario`` |
+| HEAL | fetch success vs churn, healing on/off (no fig.) | ``heal``    |
 
 The X rows implement the paper's explicit future-work items ("fw").
 Each module exposes ``run(...) -> <Result>`` and ``format_result(result)``.
@@ -40,6 +41,7 @@ from repro.experiments import (  # noqa: F401  (re-exported for discovery)
     figure5,
     fuzz,
     granularity,
+    heal,
     intra_cluster,
     loss,
     overload,
@@ -75,6 +77,7 @@ EXPERIMENTS = {
     "OVERLOAD": overload,
     "CACHE-QOS": cache_qos,
     "SCENARIO": scenario,
+    "HEAL": heal,
 }
 
 #: experiment id -> :class:`ExperimentSpec`; the CLI and the

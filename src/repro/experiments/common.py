@@ -167,6 +167,17 @@ def add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
             "generated schedules"
         ),
     )
+    parser.add_argument(
+        "--content-actions",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "fuzz only: run worlds with the content data plane (chunked "
+            "multi-source fetches, read-repair, anti-entropy healing) and "
+            "add the corrupt_chunk/graceful_shutdown actions — and the "
+            "four content invariants — to generated schedules"
+        ),
+    )
 
 
 def precheck_output_path(path: str | None, flag: str) -> str | None:

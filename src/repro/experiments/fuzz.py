@@ -29,6 +29,7 @@ from repro.chaos import (
     shrink,
 )
 from repro.chaos.scenario import (
+    CONTENT_EXTRA_ACTIONS,
     DEFAULT_ACTION_WEIGHTS,
     OVERLOAD_ACTION_WEIGHTS,
     SCENARIO_EXTRA_ACTIONS,
@@ -54,6 +55,9 @@ class FuzzResult:
     #: (diurnal bursts, skew flips, free riders, misbehaving peers,
     #: regional partitions).
     scenario_actions: bool = False
+    #: True when worlds ran the content data plane (chunked fetches,
+    #: read-repair, healing) with corrupt_chunk/graceful_shutdown actions.
+    content_actions: bool = False
     reports: list[ChaosReport] = field(default_factory=list)
     #: shrunk reproducer for the first failing seed (None when all pass).
     minimal_repro: str | None = None
@@ -86,6 +90,7 @@ def run(
     overload: bool = False,
     adaptive_replication: bool = False,
     scenario_actions: bool = False,
+    content_actions: bool = False,
     scale: float | None = None,
 ) -> FuzzResult:
     """Fuzz ``seeds`` consecutive seeds starting at ``seed``.
@@ -109,6 +114,13 @@ def run(
     these live in their own appended weights tuple, so default and
     overload schedules replay unchanged.
 
+    With ``content_actions`` the worlds run the content data plane
+    (chunked documents, multi-source fetch with failover, read-repair,
+    anti-entropy healing), schedules may include ``corrupt_chunk`` and
+    ``graceful_shutdown`` entries, and the four content invariants are
+    checked.  Again a separate appended weights tuple, so every other
+    action mix replays unchanged.
+
     ``scale`` is accepted for CLI uniformity but ignored: the chaos world
     uses a fixed multi-cluster configuration — paper-scale knobs collapse
     to one cluster at fuzz-friendly sizes, which would make the ownership
@@ -129,6 +141,12 @@ def run(
             kwargs.get("action_weights", DEFAULT_ACTION_WEIGHTS)
             + SCENARIO_EXTRA_ACTIONS
         )
+    if content_actions:
+        kwargs["content"] = True
+        kwargs["action_weights"] = (
+            kwargs.get("action_weights", DEFAULT_ACTION_WEIGHTS)
+            + CONTENT_EXTRA_ACTIONS
+        )
     config = ScenarioConfig(**kwargs)
     result = FuzzResult(
         base_seed=seed,
@@ -138,6 +156,7 @@ def run(
         overload=overload,
         adaptive_replication=adaptive_replication,
         scenario_actions=scenario_actions,
+        content_actions=content_actions,
     )
     for fuzz_seed in range(seed, seed + seeds):
         schedule = generate_schedule(fuzz_seed, config)
@@ -163,6 +182,7 @@ def format_result(result: FuzzResult) -> str:
         + (", overload actions on" if result.overload else "")
         + (", adaptive replication on" if result.adaptive_replication else "")
         + (", scenario actions on" if result.scenario_actions else "")
+        + (", content actions on" if result.content_actions else "")
     ]
     for report in result.reports:
         lines.append(f"  {report.summary()}")

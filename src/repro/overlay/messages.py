@@ -41,6 +41,10 @@ __all__ = [
     "Ack",
     "Ping",
     "Pong",
+    "ManifestUpdate",
+    "ChunkRequest",
+    "ChunkData",
+    "ChunkRepair",
     "CONTROL_SIZE",
 ]
 
@@ -338,6 +342,84 @@ class Pong:
 
     probe_id: int
     responder_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class ManifestUpdate:
+    """A document manifest on the wire (graceful-shutdown handoff).
+
+    Chunk hashes are 63-bit integers (see :mod:`repro.content.chunks`),
+    so the whole manifest stays within the codec's scalar types.
+    """
+
+    doc_id: int
+    size_bytes: int
+    chunk_size: int
+    version: int
+    chunk_hashes: tuple[int, ...]
+    holders: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkRequest:
+    """Ask a holder for one chunk of a document (content data plane).
+
+    Flows through the holder's bounded service queue when the service
+    model is enabled: ``query_id``/``requester_id``/``category_id``
+    satisfy the queue's admission and BUSY-shed paths, and
+    ``service_units`` scales service time with the chunk's bytes so
+    bandwidth is a first-class load dimension.
+    """
+
+    request_id: int
+    fetch_id: int
+    requester_id: int
+    doc_id: int
+    chunk_index: int
+    chunk_bytes: int
+    category_id: int = -1
+
+    @property
+    def query_id(self) -> int:
+        """Alias for the service queue's BUSY/shed accounting; chunk
+        request ids live in a namespace disjoint from query ids."""
+        return self.request_id
+
+    @property
+    def service_units(self) -> float:
+        """Service cost relative to one control-sized query."""
+        return max(1.0, self.chunk_bytes / 65_536)
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkData:
+    """One chunk answered (or refused) by a holder.
+
+    ``found=False`` means the responder no longer holds the chunk (the
+    document was dropped or cache-evicted mid-transfer); the fetcher
+    fails over to another source instead of failing the fetch.
+    """
+
+    request_id: int
+    fetch_id: int
+    responder_id: int
+    doc_id: int
+    chunk_index: int
+    chunk_hash: int
+    size_bytes: int
+    found: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkRepair:
+    """Read-repair push: the verified chunk sent back to a stale replica,
+    with the bumped manifest version."""
+
+    doc_id: int
+    chunk_index: int
+    chunk_hash: int
+    repairer_id: int
+    version: int
 
 
 # ----------------------------------------------------------------------

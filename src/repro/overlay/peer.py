@@ -34,6 +34,10 @@ from typing import Iterable
 import numpy as np
 
 from repro import obs
+# Submodule import on purpose: ``repro.content`` re-exports from
+# modules that import this package, so going through its __init__ here
+# would close an import cycle.
+from repro.content.chunks import CHUNK_REQUEST_ID_BASE, ContentConfig
 from repro.overlay import messages as m
 from repro.overlay.cache import DocumentCache
 from repro.overlay.cluster import elect_leader
@@ -95,6 +99,9 @@ class PeerConfig:
     #: per-peer service model: finite service rate, bounded intake queue,
     #: and admission control (off by default — serving stays instant).
     service: ServiceConfig = ServiceConfig()
+    #: content data plane: chunked transfer, multi-source fetch, repair
+    #: loops (off by default — documents stay metadata-only tokens).
+    content: ContentConfig = ContentConfig()
 
 
 @dataclass(frozen=True, slots=True)
@@ -308,6 +315,16 @@ class Peer:
             if self.config.service.enabled
             else None
         )
+        #: chunk-protocol endpoint (content data plane); None keeps
+        #: documents as metadata-only tokens with zero extra state.
+        if self.config.content.enabled:
+            # Runtime import: repro.content.fetcher imports this module's
+            # package at load time, so binding it here breaks the cycle.
+            from repro.content.fetcher import PeerContent
+
+            self._content = PeerContent(self, self.config.content)
+        else:
+            self._content = None
 
         #: recently seen query ids (loop detection), LRU-bounded.
         self._seen_queries: "OrderedDict[int, None]" = OrderedDict()
@@ -361,6 +378,10 @@ class Peer:
             "ack": self._handle_ack,
             "ping": self._handle_ping,
             "pong": self._handle_pong,
+            "chunk_request": self._handle_chunk_request,
+            "chunk_data": self._handle_chunk_data,
+            "chunk_repair": self._handle_chunk_repair,
+            "manifest_update": self._handle_manifest_update,
         }
         network.register(node_id, self.handle_message)
 
@@ -424,6 +445,37 @@ class Peer:
 
     def _handle_pong(self, message: Message) -> None:
         self.detector.handle_pong(message.payload)
+
+    # ------------------------------------------------------------------
+    # content data plane (chunk protocol; see repro.content)
+    # ------------------------------------------------------------------
+    @property
+    def content_state(self) -> PeerContent | None:
+        """This peer's chunk-protocol endpoint (None when disabled)."""
+        return self._content
+
+    def _handle_chunk_request(self, message: Message) -> None:
+        if self._content is None:
+            return  # data plane disabled here; the request is lost
+        request: m.ChunkRequest = message.payload
+        if self._service is not None:
+            # Chunk serving is member-side work like query serving: it
+            # pays admission control and byte-proportional service time.
+            self._service.offer(request)
+            return
+        self._content.serve_chunk(request)
+
+    def _handle_chunk_data(self, message: Message) -> None:
+        if self._content is not None:
+            self._content.handle_chunk_data(message.payload)
+
+    def _handle_chunk_repair(self, message: Message) -> None:
+        if self._content is not None:
+            self._content.handle_chunk_repair(message.payload)
+
+    def _handle_manifest_update(self, message: Message) -> None:
+        if self._content is not None:
+            self._content.handle_manifest_update(message.payload)
 
     def heartbeat_once(self) -> None:
         """One failure-detector round: ping a few known contacts.
@@ -558,6 +610,8 @@ class Peer:
         """
         if self._service is not None:
             self._service.on_crash()
+        if self._content is not None:
+            self._content.on_crash()
 
     def clear_failure_state(self) -> None:
         """Forget pre-crash liveness evidence; called when this node heals.
@@ -774,6 +828,13 @@ class Peer:
         (after queueing delay plus ``1/capacity_units`` service time);
         otherwise it runs inline, exactly as it historically did.
         """
+        if isinstance(query, m.ChunkRequest):
+            # Chunk serving admitted through the service queue completes
+            # here, after queueing delay and byte-proportional service.
+            if self._content is not None:
+                self._content.serve_chunk(query)
+            return
+
         entry = self.dcrt.entry(query.category_id)
         pending = self._pending_transfers.get(query.category_id)
 
@@ -977,6 +1038,12 @@ class Peer:
         random fellow member (NRT).  Returns False when nobody else is
         known — the caller sheds instead.
         """
+        if isinstance(query, m.ChunkRequest):
+            # Chunk requests target one specific holder's bytes; there is
+            # no equivalent replica to redirect to from here (the fetcher
+            # owns source selection), so overflow falls through to a shed
+            # and the requester's BUSY handler fails over.
+            return False
         entry = self.dcrt.entry(query.category_id)
         forwarded = m.QueryMessage(
             query_id=query.query_id,
@@ -1024,6 +1091,12 @@ class Peer:
     def _handle_busy(self, message: Message) -> None:
         """An overloaded member shed our query: back off, then fail over."""
         busy: m.Busy = message.payload
+        if busy.query_id >= CHUNK_REQUEST_ID_BASE:
+            # A shed chunk request (ids live in their own namespace):
+            # the fetcher fails over to another source immediately.
+            if self._content is not None:
+                self._content.handle_busy(busy)
+            return
         state = self._query_attempts.get(busy.query_id)
         if state is None:
             # No failover state (reliability off): the shed is terminal.
@@ -1239,6 +1312,11 @@ class Peer:
             neighbors.discard(notice.leaver_id)
         for capabilities in self.known_capabilities.values():
             capabilities.pop(notice.leaver_id, None)
+        # A clean departure is not a failure: drop any heartbeat
+        # suspicion evidence about the leaver so it does not linger in
+        # the suspect map (the crash/leave asymmetry — recover_node
+        # clears crash-era state, but nothing cleared leave-era state).
+        self.detector.forget(notice.leaver_id)
         self.hooks.on_leave_notice(self, notice)
 
     # ------------------------------------------------------------------

@@ -192,8 +192,13 @@ class ServiceQueue:
         self._in_service = True
         self._current = query
         epoch = self._epoch
+        # Bandwidth as a load dimension: payloads carrying bytes (chunk
+        # requests from the content data plane) declare ``service_units``
+        # proportional to their size; plain queries cost exactly one unit
+        # (multiplying by 1.0 is exact, so query-only runs are untouched).
+        units = getattr(query, "service_units", 1.0)
         self.peer.network.sim.schedule(
-            self.service_time, lambda: self._complete(query, epoch)
+            self.service_time * units, lambda: self._complete(query, epoch)
         )
 
     def _complete(self, query: "m.QueryMessage", epoch: int) -> None:

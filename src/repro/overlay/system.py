@@ -43,6 +43,11 @@ from repro.overlay.peer import (
     PeerConfig,
     PeerHooks,
 )
+# Submodule imports on purpose (see the matching note in peer.py):
+# going through repro.content's __init__ here would close an import
+# cycle while that package initializes.
+from repro.content.chunks import ContentConfig
+from repro.content.manifest import ContentManager, manifest_to_update
 from repro.overlay.replication_manager import (
     ReplicationConfig,
     ReplicationManager,
@@ -85,6 +90,9 @@ class P2PSystemConfig:
     #: demand-adaptive replication loop (off by default — no manager is
     #: even constructed, so non-adaptive runs stay byte-identical).
     replication: ReplicationConfig = field(default_factory=ReplicationConfig)
+    #: content data plane (chunked transfer, multi-source fetch, healing);
+    #: off by default — documents stay metadata-only tokens.
+    content: ContentConfig = field(default_factory=ContentConfig)
     peer: PeerConfig = field(default_factory=PeerConfig)
 
     def __post_init__(self) -> None:
@@ -165,6 +173,9 @@ class _SystemHooks(PeerHooks):
         self.system._doc_holders.setdefault(doc_id, set()).add(peer.node_id)
         self.system._ever_stored.add((peer.node_id, doc_id))
         self.system._doc_holders_cache = None
+        content = self.system.content
+        if content is not None:
+            content.note_stored(peer, doc_id)
 
     def on_document_dropped(self, peer: Peer, doc_id: int) -> None:
         holders = self.system._doc_holders.get(doc_id)
@@ -288,6 +299,11 @@ class P2PSystem:
         self._ever_stored: set[tuple[int, int]] = set()
         self._bogus_rejections: list[tuple[int, int]] = []
 
+        #: content data plane: manifests, fetch ledger, healer; None
+        #: when disabled (no manifests, no metrics, no RNG draws).  The
+        #: attribute exists before bootstrap because the store/drop
+        #: hooks consult it while bootstrap places documents.
+        self.content: ContentManager | None = None
         self._bootstrap()
         #: demand-adaptive replication loop; None when disabled so the
         #: default world registers no replication metrics at all.
@@ -296,6 +312,8 @@ class P2PSystem:
             if self.config.replication.enabled
             else None
         )
+        if self.config.content.enabled:
+            self.content = ContentManager(self, self.config.content)
 
     # ------------------------------------------------------------------
     # construction
@@ -319,6 +337,7 @@ class P2PSystem:
             cache_policy=self.config.cache_policy,
             reliability=self.config.reliability,
             service=self.config.service,
+            content=self.config.content,
         )
 
     def _jitter_rng(self):
@@ -509,6 +528,11 @@ class P2PSystem:
     def replication_enabled(self) -> bool:
         """True when the adaptive replication loop runs (bounds apply)."""
         return self.replication is not None
+
+    @property
+    def content_enabled(self) -> bool:
+        """True when the content data plane runs (content invariants apply)."""
+        return self.content is not None
 
     def departed_node_ids(self) -> list[int]:
         """Sorted ids of peers that left or crashed out of the system."""
@@ -750,6 +774,99 @@ class P2PSystem:
             graph.remove_member(node_id)
         self.sim.run()
 
+    def shutdown_node(self, node_id: int, handoff_rounds: int = 3) -> bool:
+        """Gracefully shut a node down: drain, hand off, then leave.
+
+        Distinct from :meth:`crash_node` (no goodbye) and from
+        :meth:`leave_node` (goodbye, but any sole-holder content departs
+        with the leaver): a graceful shutdown first lets in-flight work
+        drain, then hands off every document whose *only* live copy sits
+        on the leaver — the receiving node pulls the document group over
+        the transfer protocol, and with the content data plane enabled
+        the leaver also ships the document's manifest.  Hand-off is
+        retried up to ``handoff_rounds`` times (messages may be lost);
+        if some sole-holder document still cannot be placed — the
+        cluster is partitioned away, or nobody else is alive — the
+        shutdown is *aborted* and the node stays up, because leaving
+        would destroy the last copy.  Returns whether the node left.
+        """
+        peer = self.peer(node_id)
+        if peer is None or not self.network.is_alive(node_id):
+            return False
+        # Drain: let in-flight queries, transfers, and the node's own
+        # service queue finish before deciding what must move.
+        self.sim.run()
+        for _ in range(max(1, handoff_rounds)):
+            orphans = self._sole_holder_docs(node_id)
+            if not orphans:
+                break
+            for doc_id in orphans:
+                target = self._handoff_target(doc_id, node_id)
+                if target is None:
+                    continue
+                info = peer.docs[doc_id]
+                category_id = info.categories[0] if info.categories else 0
+                target.pull_documents(node_id, category_id, [doc_id])
+                if self.content is not None:
+                    manifest = self.content.manifest_for(doc_id)
+                    if manifest is not None:
+                        peer._send(
+                            target.node_id,
+                            "manifest_update",
+                            manifest_to_update(
+                                manifest,
+                                holders=self.content.live_holders(doc_id),
+                            ),
+                        )
+            self.sim.run()
+        if self._sole_holder_docs(node_id):
+            return False  # last copies could not be placed; stay up
+        self.leave_node(node_id)
+        return True
+
+    def _sole_holder_docs(self, node_id: int) -> list[int]:
+        """Documents whose only live holder is ``node_id``."""
+        network = self.network
+        orphans = []
+        peer = self._peers[node_id]
+        for doc_id in sorted(peer.docs):
+            others = [
+                holder
+                for holder in self._doc_holders.get(doc_id, ())
+                if holder != node_id and network.is_alive(holder)
+            ]
+            if not others:
+                orphans.append(doc_id)
+        return orphans
+
+    def _handoff_target(self, doc_id: int, leaver_id: int) -> Peer | None:
+        """Deterministic destination for a sole-holder document.
+
+        Prefer live members of the document's home cluster, highest
+        capacity first (node id as the tie break); fall back to any live
+        peer when the cluster has nobody else.
+        """
+        info = self._peers[leaver_id].docs.get(doc_id)
+        candidates: list[Peer] = []
+        if info is not None and info.categories:
+            cluster_id = int(
+                self.assignment.category_to_cluster[info.categories[0]]
+            )
+            candidates = [
+                peer
+                for peer in self.peers_in_cluster(cluster_id)
+                if peer.node_id != leaver_id
+            ]
+        if not candidates:
+            candidates = [
+                peer
+                for peer in self.alive_peers()
+                if peer.node_id != leaver_id
+            ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda p: (-p.capacity_units, p.node_id))
+
     def crash_node(self, node_id: int) -> None:
         """Fail a node without any goodbye (tests the timeout paths)."""
         self.network.crash(node_id)
@@ -860,6 +977,20 @@ class P2PSystem:
         if self.replication is None:
             return None
         report = self.replication.run_round()
+        self.sim.run()
+        return report
+
+    def run_healing_round(self):
+        """Run one anti-entropy healing scan and let its fetches land.
+
+        The healer re-replicates documents whose live full-holder count
+        fell below ``ContentConfig.replication_floor``.  Round-driven
+        like replication (never self-scheduling); returns the healer's
+        summary dict, or None when the content data plane is disabled.
+        """
+        if self.content is None:
+            return None
+        report = self.content.healer.run_round()
         self.sim.run()
         return report
 

@@ -77,6 +77,22 @@ class FailureDetector:
             self.suspects.add(node_id)
             _C_SUSPECTS.value += 1
 
+    def forget(self, node_id: int) -> None:
+        """Silently drop all evidence about ``node_id``.
+
+        Used when the target *left gracefully*: a clean departure is
+        neither a failure (so no suspicion should accrue from its armed
+        probe timeouts) nor a rehabilitation (so, unlike
+        :meth:`note_alive`, no cleared-suspicion counter ticks — the
+        node is gone, not healed).
+        """
+        self._misses.pop(node_id, None)
+        self.suspects.discard(node_id)
+        if self._pending:
+            self._pending = {
+                key for key in self._pending if key[0] != node_id
+            }
+
     def reset(self) -> None:
         """Forget all evidence: misses, pending probes, and suspects.
 

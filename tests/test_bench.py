@@ -26,7 +26,7 @@ RESULT_KEYS = {
 
 MICRO_NAMES = {
     "engine_event_churn", "network_send_deliver", "zipf_sampling",
-    "service_queue", "replication_manager", "scenario_step",
+    "service_queue", "replication_manager", "chunk_fetch", "scenario_step",
 }
 MACRO_NAMES = {
     "figure2_end_to_end", "scaling_sweep", "fuzz_steps", "loss_experiment",

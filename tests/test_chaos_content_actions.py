@@ -1,0 +1,102 @@
+"""Chaos integration of the content actions: generation, replay, goldens."""
+
+import pytest
+
+from repro.chaos import ScenarioConfig, generate_schedule, run_schedule
+from repro.chaos.invariants import CONTENT_INVARIANTS
+from repro.chaos.scenario import (
+    CONTENT_ACTION_WEIGHTS,
+    CONTENT_EXTRA_ACTIONS,
+    DEFAULT_ACTION_WEIGHTS,
+)
+
+NEW_ACTIONS = {name for name, _ in CONTENT_EXTRA_ACTIONS}
+
+CONTENT_CONFIG = ScenarioConfig(
+    content=True,
+    action_weights=CONTENT_ACTION_WEIGHTS,
+    n_steps=30,
+)
+
+
+class TestGeneration:
+    def test_new_actions_appear_in_schedules(self):
+        seen = set()
+        for seed in range(8):
+            schedule = generate_schedule(seed, CONTENT_CONFIG)
+            seen |= {entry.action for entry in schedule.entries}
+        assert NEW_ACTIONS <= seen
+
+    def test_default_schedules_unchanged(self):
+        # Golden-compat: the content actions live in their own appended
+        # weights tuple, so default-weight schedules replay identically.
+        for seed in range(5):
+            schedule = generate_schedule(seed, ScenarioConfig())
+            assert not {e.action for e in schedule.entries} & NEW_ACTIONS
+            again = generate_schedule(seed, ScenarioConfig())
+            assert schedule.entries == again.entries
+
+    def test_generation_deterministic(self):
+        a = generate_schedule(11, CONTENT_CONFIG)
+        b = generate_schedule(11, CONTENT_CONFIG)
+        assert a.entries == b.entries
+
+    def test_params_are_json_safe_scalars(self):
+        schedule = generate_schedule(3, CONTENT_CONFIG)
+        for entry in schedule.entries:
+            for value in entry.params.values():
+                assert isinstance(value, (int, float, str, bool))
+            assert eval(repr(entry), {"ScheduleEntry": type(entry)}) == entry
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return {
+            seed: run_schedule(
+                generate_schedule(seed, CONTENT_CONFIG), CONTENT_CONFIG
+            )
+            for seed in range(3)
+        }
+
+    def test_content_schedules_run_clean(self, reports):
+        for seed, report in reports.items():
+            assert report.ok, f"seed {seed}: {report.summary()}"
+
+    def test_replay_is_deterministic(self, reports):
+        seed = 0
+        again = run_schedule(
+            generate_schedule(seed, CONTENT_CONFIG), CONTENT_CONFIG
+        )
+        first = reports[seed]
+        assert again.entries_applied == first.entries_applied
+        assert again.entries_skipped == first.entries_skipped
+        assert again.outcomes_total == first.outcomes_total
+        assert again.ok == first.ok
+
+
+class TestWeights:
+    def test_content_weights_extend_defaults(self):
+        assert CONTENT_ACTION_WEIGHTS[: len(DEFAULT_ACTION_WEIGHTS)] == (
+            DEFAULT_ACTION_WEIGHTS
+        )
+        assert CONTENT_ACTION_WEIGHTS[len(DEFAULT_ACTION_WEIGHTS):] == (
+            CONTENT_EXTRA_ACTIONS
+        )
+
+    def test_four_content_invariants_exported(self):
+        assert CONTENT_INVARIANTS == (
+            "manifest-consistency",
+            "fetch-integrity",
+            "chunk-availability",
+            "no-sole-holder-loss",
+        )
+
+    def test_fuzz_run_wires_content_actions(self):
+        from repro.experiments import fuzz
+
+        result = fuzz.run(seed=0, seeds=1, steps=12, content_actions=True)
+        assert result.content_actions
+        assert not result.failing_seeds
+        text = fuzz.format_result(result)
+        assert "content actions on" in text

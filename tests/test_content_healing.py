@@ -1,0 +1,121 @@
+"""Anti-entropy healing: re-replicating documents below the holder floor."""
+
+from tests.test_content_fetch import (
+    doc_with_holders,
+    make_content_system,
+    pick_requester,
+)
+
+
+def heal_until_dry(system, max_rounds=20):
+    reports = []
+    for _ in range(max_rounds):
+        report = system.run_healing_round()
+        reports.append(report)
+        if report is None or not report["fetches"]:
+            break
+    return reports
+
+
+class TestHealingRound:
+    def test_disabled_content_plane_returns_none(self):
+        from tests.helpers import build_live_system
+
+        _, system = build_live_system(scale=0.02, seed=31)
+        assert system.content is None
+        assert system.run_healing_round() is None
+
+    def test_quiescent_world_needs_no_healing(self):
+        system = make_content_system(replication_floor=2)
+        report = system.run_healing_round()
+        assert report["fetches"] == 0
+        assert report["below_floor"] == 0
+        assert report["scanned"] == len(system.content.manifests)
+
+    def test_crash_below_floor_triggers_re_replication(self):
+        system = make_content_system(replication_floor=2)
+        manager = system.content
+        doc_id, holders = doc_with_holders(system, min_holders=2)
+        for holder in holders[1:]:
+            system.crash_node(holder)
+        assert len(manager.live_holders(doc_id)) == 1
+        report = system.run_healing_round()
+        assert report["below_floor"] >= 1
+        assert report["fetches"] >= 1
+        heal_until_dry(system)
+        assert len(manager.live_holders(doc_id)) >= 2
+        # Heal fetches are labelled in the ledger.
+        purposes = {r.purpose for r in manager.fetch_ledger()}
+        assert "heal" in purposes
+
+    def test_every_document_restored_to_the_floor(self):
+        system = make_content_system(replication_floor=2)
+        manager = system.content
+        victims = [p.node_id for p in system.alive_peers()][:4]
+        for node_id in victims:
+            system.crash_node(node_id)
+        heal_until_dry(system)
+        alive = len(system.alive_peers())
+        for doc_id in sorted(manager.manifests):
+            holders = manager.live_holders(doc_id)
+            if not holders:
+                continue  # unrepairable: every copy crashed
+            assert len(holders) >= min(2, alive), doc_id
+
+    def test_lost_documents_are_reported_unrepairable(self):
+        system = make_content_system(replication_floor=2)
+        manager = system.content
+        doc_id, holders = doc_with_holders(system)
+        for holder in holders:
+            system.crash_node(holder)
+        assert manager.live_holders(doc_id) == []
+        report = system.run_healing_round()
+        assert report["unrepairable"] >= 1
+        # No fetch was wasted on a document with zero live sources.
+        assert all(
+            r.doc_id != doc_id or r.purpose != "heal"
+            for r in manager.fetch_ledger()
+        )
+
+    def test_heal_fetch_limit_bounds_one_round(self):
+        system = make_content_system(replication_floor=3, heal_fetch_limit=2)
+        report = system.run_healing_round()
+        assert report["fetches"] <= 2
+
+    def test_healing_is_deterministic(self):
+        snapshots = []
+        for _ in range(2):
+            system = make_content_system(seed=13, replication_floor=2)
+            victims = [p.node_id for p in system.alive_peers()][:3]
+            for node_id in victims:
+                system.crash_node(node_id)
+            reports = heal_until_dry(system)
+            ledger = [
+                (r.doc_id, r.requester_id, r.completed_at, r.failovers)
+                for r in system.content.fetch_ledger()
+            ]
+            snapshots.append((reports, ledger))
+        assert snapshots[0] == snapshots[1]
+
+
+class TestHealExperiment:
+    def test_registry_and_formatting(self):
+        from repro.experiments import EXPERIMENTS, heal
+
+        assert EXPERIMENTS["HEAL"] is heal
+        assert callable(heal.run)
+        assert callable(heal.format_result)
+
+    def test_measure_shows_healing_advantage(self):
+        # One churn setting at reduced scale: the healing-on arm must
+        # sustain fetch success where the healing-off arm degrades.
+        from repro.experiments import heal
+
+        result = heal.run(scale=0.25, churns=(0.20,))
+        off = result.row(0.20, False)
+        on = result.row(0.20, True)
+        assert on.success_rate >= off.success_rate
+        assert on.heal_fetches > 0
+        assert off.heal_fetches == 0
+        text = heal.format_result(result)
+        assert "churn" in text

@@ -1,0 +1,89 @@
+"""Manifests: construction, wire round-trips, and the fetch ledger."""
+
+import json
+
+from repro.content.chunks import chunk_hash
+from repro.content.manifest import (
+    FetchRecord,
+    Manifest,
+    build_manifest,
+    manifest_from_update,
+    manifest_to_update,
+)
+from repro.overlay import messages as m
+
+
+class TestBuildManifest:
+    def test_hashes_are_content_derived(self):
+        manifest = build_manifest(7, size_bytes=25, chunk_size=10)
+        assert manifest.n_chunks == 3
+        assert manifest.chunk_hashes == tuple(
+            chunk_hash(7, i) for i in range(3)
+        )
+        assert manifest.version == 0
+
+    def test_chunk_bytes_delegates_to_chunk_math(self):
+        manifest = build_manifest(7, size_bytes=25, chunk_size=10)
+        assert [manifest.chunk_bytes(i) for i in range(3)] == [10, 10, 5]
+
+    def test_tiny_document_is_one_chunk(self):
+        manifest = build_manifest(1, size_bytes=3, chunk_size=10)
+        assert manifest.n_chunks == 1
+        assert manifest.chunk_bytes(0) == 3
+
+
+class TestWireRoundTrip:
+    """The explicit manifest round-trip through the overlay wire codec.
+
+    The hypothesis suite in test_message_roundtrip.py covers every
+    registered type generically; this pins the full journey a real
+    manifest takes — Manifest -> ManifestUpdate -> JSON -> Manifest —
+    including the holder hint and version.
+    """
+
+    def test_manifest_survives_the_wire(self):
+        manifest = build_manifest(42, size_bytes=262_144,
+                                  chunk_size=65_536, version=3)
+        update = manifest_to_update(manifest, holders=(9, 1, 4))
+        record = json.loads(json.dumps(m.to_wire(update)))
+        decoded = m.from_wire(record)
+        assert type(decoded) is m.ManifestUpdate
+        assert decoded == update
+        assert decoded.holders == (1, 4, 9)  # holder hint arrives sorted
+        assert manifest_from_update(decoded) == manifest
+
+    def test_round_trip_preserves_version_and_hashes_exactly(self):
+        manifest = Manifest(
+            doc_id=5,
+            size_bytes=100,
+            chunk_size=64,
+            version=17,
+            chunk_hashes=(2**63 - 1, 0),
+        )
+        update = manifest_to_update(manifest)
+        wired = m.from_wire(json.loads(json.dumps(m.to_wire(update))))
+        back = manifest_from_update(wired)
+        assert back == manifest
+        assert back.chunk_hashes == (2**63 - 1, 0)
+
+    def test_chunk_messages_are_registered_wire_types(self):
+        for name in ("ManifestUpdate", "ChunkRequest", "ChunkData",
+                     "ChunkRepair"):
+            assert name in m.WIRE_TYPES
+
+
+class TestFetchRecord:
+    def test_settles_on_completion_or_failure(self):
+        record = FetchRecord(
+            fetch_id=1, doc_id=2, requester_id=3, n_chunks=4,
+            purpose="fetch", started_at=0.0, manifest_version=0,
+        )
+        assert not record.settled
+        record.completed_at = 1.5
+        assert record.settled
+        failed = FetchRecord(
+            fetch_id=2, doc_id=2, requester_id=3, n_chunks=4,
+            purpose="heal", started_at=0.0, manifest_version=0,
+            failed=True, failure="no-live-source",
+        )
+        assert failed.settled

@@ -1,0 +1,142 @@
+"""Graceful shutdown: drain, sole-holder handoff, and clean departure.
+
+Also pins the crash/leave asymmetry fix: a graceful departure clears
+the leaver from its neighbours' failure-detector suspect maps, while a
+crash (no goodbye) leaves the suspicion evidence in place.
+"""
+
+from tests.helpers import build_live_system
+from tests.test_content_fetch import (
+    doc_with_holders,
+    make_content_system,
+    pick_requester,
+)
+
+
+def make_sole_holder(system, min_holders=2):
+    """Strip a document down to one holder; return (doc_id, holder)."""
+    manager = system.content
+    doc_id, holders = doc_with_holders(system, min_holders=min_holders)
+    keeper = holders[0]
+    for other in holders[1:]:
+        system.peer(other).drop_document(doc_id)
+    assert manager.live_holders(doc_id) == [keeper]
+    return doc_id, keeper
+
+
+class TestShutdownHandoff:
+    def test_sole_holder_documents_survive_the_shutdown(self):
+        system = make_content_system()
+        manager = system.content
+        doc_id, keeper = make_sole_holder(system)
+        assert system.shutdown_node(keeper) is True
+        assert not system.network.is_alive(keeper)
+        assert keeper not in [p.node_id for p in system.alive_peers()]
+        holders = manager.live_holders(doc_id)
+        assert holders, "the last copy left with the leaver"
+        assert keeper not in holders
+
+    def test_manifest_ships_with_the_handoff(self):
+        system = make_content_system()
+        manager = system.content
+        doc_id, keeper = make_sole_holder(system)
+        before = manager.manifest_for(doc_id)
+        assert system.shutdown_node(keeper) is True
+        cached = [
+            system.peer(holder).content_state.manifests.get(doc_id)
+            for holder in manager.live_holders(doc_id)
+        ]
+        assert any(m is not None and m == before for m in cached)
+
+    def test_shutdown_without_orphans_is_a_plain_leave(self):
+        system = make_content_system()
+        # Every document this node holds has another live copy, so no
+        # handoff traffic is needed and the node just leaves.
+        manager = system.content
+        for peer in system.alive_peers():
+            if peer.docs and not system._sole_holder_docs(peer.node_id):
+                node_id = peer.node_id
+                break
+        else:
+            raise AssertionError("no fully-replicated node in this world")
+        held = sorted(system.peer(node_id).docs)
+        assert system.shutdown_node(node_id) is True
+        for doc_id in held:
+            assert manager.live_holders(doc_id), doc_id
+
+    def test_dead_node_cannot_shut_down(self):
+        system = make_content_system()
+        victim = system.alive_peers()[0].node_id
+        system.crash_node(victim)
+        assert system.shutdown_node(victim) is False
+        assert system.shutdown_node(999_999) is False  # unknown node
+
+    def test_shutdown_aborts_when_the_last_copy_cannot_move(self):
+        system = make_content_system()
+        # Leave exactly one node alive; its documents have nowhere to go.
+        peers = system.alive_peers()
+        keeper = next(p for p in peers if p.docs)
+        for peer in peers:
+            if peer.node_id != keeper.node_id:
+                system.crash_node(peer.node_id)
+        held = dict(keeper.docs)
+        assert system.shutdown_node(keeper.node_id) is False
+        # The node stayed up and kept every document: leaving would have
+        # destroyed the community's last copies.
+        assert system.network.is_alive(keeper.node_id)
+        assert keeper.docs == held
+
+    def test_shutdown_is_deterministic(self):
+        outcomes = []
+        for _ in range(2):
+            system = make_content_system(seed=23)
+            doc_id, keeper = make_sole_holder(system)
+            ok = system.shutdown_node(keeper)
+            outcomes.append(
+                (ok, doc_id, system.content.live_holders(doc_id))
+            )
+        assert outcomes[0] == outcomes[1]
+
+
+class TestCrashLeaveAsymmetry:
+    def _suspecting_pair(self, system):
+        """(observer, target_id): observer is a cluster neighbour that
+        has accumulated enough misses to suspect the target."""
+        for peer in system.alive_peers():
+            for neighbors in peer.cluster_neighbors.values():
+                for target in sorted(neighbors):
+                    if system.network.is_alive(target):
+                        threshold = (
+                            peer.detector.config.suspicion_threshold
+                        )
+                        for _ in range(threshold):
+                            peer.detector.note_missed(target)
+                        assert peer.detector.is_suspect(target)
+                        return peer, target
+        raise AssertionError("no neighbouring pair found")
+
+    def test_leave_clears_lingering_suspicion(self):
+        # Regression: a node that left gracefully used to linger in its
+        # neighbours' suspect maps forever (recover_node cleared
+        # crash-era state, but nothing cleared leave-era state).
+        _, system = build_live_system(scale=0.02, seed=31)
+        observer, target = self._suspecting_pair(system)
+        system.leave_node(target)
+        system.sim.run()
+        assert not observer.detector.is_suspect(target)
+        assert target not in observer.detector._misses
+
+    def test_crash_keeps_suspicion(self):
+        # The asymmetry is intentional in the other direction: a crash
+        # sends no goodbye, so the suspicion evidence must survive.
+        _, system = build_live_system(scale=0.02, seed=31)
+        observer, target = self._suspecting_pair(system)
+        system.crash_node(target)
+        system.sim.run()
+        assert observer.detector.is_suspect(target)
+
+    def test_graceful_shutdown_clears_suspicion_too(self):
+        system = make_content_system()
+        observer, target = self._suspecting_pair(system)
+        assert system.shutdown_node(target) is True
+        assert not observer.detector.is_suspect(target)
