@@ -48,7 +48,7 @@ def _network_fn(n_messages: int, n_nodes: int):
         for node_id in range(n_nodes):
             network.register(node_id, handler)
         for i in range(n_messages):
-            network.send(
+            network.transmit(
                 src=i % n_nodes,
                 dst=(i + 1) % n_nodes,
                 kind="bench",

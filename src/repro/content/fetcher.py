@@ -279,7 +279,7 @@ class PeerContent:
                 ),
             ),
         )
-        self.peer.network.sim.schedule(
+        self.peer.transport.schedule(
             self.config.chunk_timeout,
             lambda: self._on_deadline(request_id, source),
         )

@@ -137,7 +137,9 @@ def broadcast_notice(
         if coordinator is not None:
             coordinator._send(node_id, "reassign_notice", notice)
         else:
-            system.network.send(coordinator_id, node_id, "reassign_notice", notice)
+            system.network.transmit(
+                coordinator_id, node_id, "reassign_notice", notice
+            )
     system.apply_reassignment(notice.category_id, notice.target_cluster)
 
 
@@ -279,7 +281,7 @@ class AdaptationCoordinator:
             if leader is not None:
                 for other_cluster, other_leader in leaders.items():
                     if other_cluster != cluster_id:
-                        system.network.send(
+                        system.network.transmit(
                             leader_id,
                             other_leader,
                             "load_report",

@@ -20,13 +20,16 @@ hit counters, and implements the node-side of every protocol in the paper:
   not-yet-transferred content, and piggybacked DCRT corrections;
 * anti-entropy gossip of DCRT entries.
 
-Peers interact with the rest of the world only through the network (for
-messages) and the :class:`PeerHooks` callback object (for things the
-experiment harness wants to observe).
+Peers interact with the rest of the world only through their
+:class:`repro.transport.Transport` (messages, timers, and the clock) and
+the :class:`PeerHooks` callback object (for things the experiment
+harness wants to observe) — the same protocol code runs over the
+discrete-event simulator and over real sockets (:mod:`repro.live`).
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -43,14 +46,11 @@ from repro.overlay.cache import DocumentCache
 from repro.overlay.cluster import elect_leader
 from repro.overlay.messages import DocInfo
 from repro.overlay.metadata import DCRT, DCRTEntry, NRT, DocumentTable
-from repro.reliability.channel import (
-    RELIABLE_KINDS,
-    ReliabilityConfig,
-    ReliableChannel,
-)
+from repro.reliability.channel import ReliabilityConfig, ReliableChannel
 from repro.overlay.service import ServiceConfig, ServiceQueue
 from repro.reliability.detector import FailureDetector
-from repro.sim.network import Message, Network
+from repro.sim.network import Message
+from repro.transport import ReliableTransport, Transport, as_transport
 
 __all__ = ["DocInfo", "PeerConfig", "PeerHooks", "Peer"]
 
@@ -241,7 +241,9 @@ class Peer:
     node_id, capacity_units:
         Identity and processing capacity (Section 4.3.1 units).
     network:
-        The simulated network; the peer registers its handler on creation.
+        Legacy spelling of ``transport``: a simulated ``Network`` (or
+        any ``Transport``), coerced via ``as_transport``.  The peer
+        registers its handler on creation.
     rng:
         Protocol randomness (random target selection, gossip partners).
     hooks:
@@ -251,21 +253,38 @@ class Peer:
     jitter_rng:
         Named stream for retry-backoff jitter; consulted only when a
         retransmission actually fires, so loss-free runs never touch it.
+    transport:
+        The world this peer lives in (keyword-only; exclusive with
+        ``network``).  :class:`repro.transport.SimTransport` for the
+        simulator, :class:`repro.live.AsyncioTransport` for sockets.
     """
 
     def __init__(
         self,
         node_id: int,
         capacity_units: float,
-        network: Network,
-        rng: np.random.Generator,
+        network=None,
+        rng: np.random.Generator | None = None,
         hooks: PeerHooks | None = None,
         config: PeerConfig | None = None,
         jitter_rng: np.random.Generator | None = None,
+        *,
+        transport: Transport | None = None,
     ) -> None:
+        if transport is None:
+            transport = network
+        elif network is not None:
+            raise TypeError("pass either network= or transport=, not both")
+        if transport is None:
+            raise TypeError("Peer requires a transport= (or legacy network=)")
+        if rng is None:
+            raise TypeError("Peer requires an rng")
+        base = as_transport(transport)
         self.node_id = node_id
         self.capacity_units = capacity_units
-        self.network = network
+        #: the world seam every send, timer, and clock read goes through;
+        #: rebound below to the reliability wrapper when acks are on.
+        self.transport: Transport = base
         self.rng = rng
         self.hooks = hooks if hooks is not None else PeerHooks()
         self.config = config if config is not None else PeerConfig()
@@ -301,12 +320,17 @@ class Peer:
         self._reliability = self.config.reliability
         self.channel = ReliableChannel(
             node_id,
-            network,
+            base,
             self._reliability,
             jitter_rng=jitter_rng,
             on_give_up=self._on_delivery_give_up,
         )
-        self.detector = FailureDetector(node_id, network, self._reliability)
+        self.detector = FailureDetector(node_id, base, self._reliability)
+        if self._reliability.enabled:
+            # Reliability composes as a transport wrapper: kinds wanting
+            # ack/retry route through the channel, the rest pass straight
+            # to the base transport — one send path either way.
+            self.transport = ReliableTransport(base, self.channel)
         #: bounded service queue in front of query processing; None keeps
         #: the historical instant-serve behaviour (and registers none of
         #: the overload metrics).
@@ -383,11 +407,27 @@ class Peer:
             "chunk_repair": self._handle_chunk_repair,
             "manifest_update": self._handle_manifest_update,
         }
-        network.register(node_id, self.handle_message)
+        base.register(node_id, self.handle_message)
 
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
+    @property
+    def network(self):
+        """Deprecated: the simulated network under the transport stack.
+
+        Kept for external callers that still poke the network directly;
+        raises ``AttributeError`` when the peer runs over a transport
+        with no simulated network underneath (the live stack).
+        """
+        warnings.warn(
+            "Peer.network is deprecated: use Peer.transport (the simulated "
+            "network, when present, is Peer.transport.network)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.transport.network
+
     def handle_message(self, message: Message) -> None:
         """Network entry point: ack/dedup reliable traffic, then dispatch."""
         self.detector.note_alive(message.src)
@@ -417,10 +457,9 @@ class Peer:
             self._stale_gossip_digest = tuple(self.dcrt.snapshot().items())
 
     def _send(self, dst: int, kind: str, payload, size: int = m.CONTROL_SIZE) -> None:
-        if self._reliability.enabled and kind in RELIABLE_KINDS:
-            self.channel.send(dst, kind, payload, size_bytes=size)
-        else:
-            self.network.send(self.node_id, dst, kind, payload, size_bytes=size)
+        # One send path for every configuration: the reliability branch
+        # lives in the transport stack (ReliableTransport), not here.
+        self.transport.send(self.node_id, dst, kind, payload, size_bytes=size)
 
     def _on_delivery_give_up(self, dst: int, kind: str) -> None:
         """A reliable delivery exhausted its attempts: evidence of death."""
@@ -666,7 +705,7 @@ class Peer:
         if _TRACE.enabled:
             _TRACE.emit(
                 "query_issue",
-                t=self.network.sim.now,
+                t=self.transport.now,
                 node=self.node_id,
                 query=query_id,
                 category=category_id,
@@ -701,7 +740,7 @@ class Peer:
         if _TRACE.enabled:
             _TRACE.emit(
                 "query_fail",
-                t=self.network.sim.now,
+                t=self.transport.now,
                 node=self.node_id,
                 query=query_id,
                 reason=reason,
@@ -760,14 +799,14 @@ class Peer:
             if _TRACE.enabled:
                 _TRACE.emit(
                     "query_failover",
-                    t=self.network.sim.now,
+                    t=self.transport.now,
                     node=self.node_id,
                     query=state.query_id,
                     attempt=state.attempts,
                 )
             self._try_query(state)
 
-        self.network.sim.schedule(self._reliability.query_deadline, on_deadline)
+        self.transport.schedule(self._reliability.query_deadline, on_deadline)
 
     def _handle_query(self, message: Message) -> None:
         """Step 2, at a target node: serve, redirect, or forward."""
@@ -913,7 +952,7 @@ class Peer:
         if _TRACE.enabled:
             _TRACE.emit(
                 "query_serve",
-                t=self.network.sim.now,
+                t=self.transport.now,
                 node=self.node_id,
                 query=query.query_id,
                 hops=query.hops,
@@ -1123,14 +1162,14 @@ class Peer:
             if _TRACE.enabled:
                 _TRACE.emit(
                     "query_busy_failover",
-                    t=self.network.sim.now,
+                    t=self.transport.now,
                     node=self.node_id,
                     query=state.query_id,
                     shed_by=busy.responder_id,
                 )
             self._try_query(state)
 
-        self.network.sim.schedule(max(busy.retry_after, 0.0), retry)
+        self.transport.schedule(max(busy.retry_after, 0.0), retry)
 
     def _cache_store(self, info: DocInfo) -> None:
         """Keep a retrieved document as a servable cached replica.
@@ -1303,7 +1342,7 @@ class Peer:
             )
             for neighbor in self.cluster_neighbors.get(cluster_id, ()):
                 self._send(neighbor, "leave_notice", notice)
-        self.network.unregister(self.node_id)
+        self.transport.unregister(self.node_id)
 
     def _handle_leave_notice(self, message: Message) -> None:
         notice: m.LeaveNotice = message.payload
@@ -1396,7 +1435,7 @@ class Peer:
             if replacement is not None:
                 self.believed_leader[cluster_id] = replacement
 
-        self.network.sim.schedule(timeout, on_timeout)
+        self.transport.schedule(timeout, on_timeout)
 
     def _handle_leader_probe(self, message: Message) -> None:
         probe: m.LeaderProbe = message.payload
@@ -1542,7 +1581,7 @@ class Peer:
                 state.pending_children = 0
                 self._finish_monitoring(state)
 
-        self.network.sim.schedule(max(budget, 0.1), timeout)
+        self.transport.schedule(max(budget, 0.1), timeout)
 
     def _handle_hit_count_reply(self, message: Message) -> None:
         reply: m.HitCountReply = message.payload
@@ -1617,7 +1656,7 @@ class Peer:
                 self._pending_transfers[notice.category_id] = pending
                 # Schedule the group transfer for an opportune moment.
                 delay = float(self.rng.random()) * self.config.transfer_stagger
-                self.network.sim.schedule(
+                self.transport.schedule(
                     delay, lambda p=pending: self._request_transfer(p)
                 )
 
@@ -1768,7 +1807,7 @@ class Peer:
         if _TRACE.enabled:
             _TRACE.emit(
                 "gossip",
-                t=self.network.sim.now,
+                t=self.transport.now,
                 node=self.node_id,
                 partner=partner,
             )

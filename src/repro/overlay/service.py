@@ -197,14 +197,14 @@ class ServiceQueue:
         # proportional to their size; plain queries cost exactly one unit
         # (multiplying by 1.0 is exact, so query-only runs are untouched).
         units = getattr(query, "service_units", 1.0)
-        self.peer.network.sim.schedule(
+        self.peer.transport.schedule(
             self.service_time * units, lambda: self._complete(query, epoch)
         )
 
     def _complete(self, query: "m.QueryMessage", epoch: int) -> None:
         if epoch != self._epoch:
             return  # the host crashed mid-service; on_crash accounted it
-        if not self.peer.network.is_alive(self.peer.node_id):
+        if not self.peer.transport.is_alive(self.peer.node_id):
             # Belt and suspenders: a crash that bypassed on_crash must not
             # let a dead node keep serving.  The queue is left undrained on
             # purpose — the overload-drain invariant flags the unwired path.

@@ -25,7 +25,12 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro import obs
-from repro.sim.network import Message, Network
+from repro.sim.network import Message
+# RELIABLE_KINDS moved to the transport layer (which kinds want acks is
+# a wire property, not a channel implementation detail); re-exported
+# here for the many existing importers.
+from repro.transport import Transport, as_transport
+from repro.transport.reliable import RELIABLE_KINDS  # noqa: F401
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.overlay import messages as m
@@ -36,24 +41,6 @@ __all__ = ["RELIABLE_KINDS", "ReliabilityConfig", "ReliableChannel"]
 #: overlay module is imported lazily to keep this package importable on
 #: its own — overlay.peer imports us, so a top-level import would cycle).
 _CONTROL_SIZE = 256
-
-#: Message kinds sent through the channel when reliability is enabled.
-#: Query requests are absent on purpose — the peer gives them end-to-end
-#: deadline failover against a *different* cluster member, which a
-#: same-destination retry cannot provide.  Acks, pings, and gossip are
-#: fire-and-forget by design (gossip is its own anti-entropy repair).
-RELIABLE_KINDS = frozenset(
-    {
-        "publish_request",
-        "publish_reply",
-        "join_request",
-        "join_reply",
-        "reassign_notice",
-        "transfer_request",
-        "transfer_data",
-        "query_response",
-    }
-)
 
 # Process-wide counters, cached at import time like the peer's.
 _C_SENDS = obs.counter("reliability.sends")
@@ -266,13 +253,15 @@ class ReliableChannel:
     def __init__(
         self,
         node_id: int,
-        network: Network,
+        transport: Transport,
         config: ReliabilityConfig,
         jitter_rng=None,
         on_give_up: Callable[[int, str], None] | None = None,
     ) -> None:
         self.node_id = node_id
-        self.network = network
+        # Accepts a bare simulated Network too (legacy callers, tests);
+        # the coercion wraps it in the shared per-network SimTransport.
+        self.transport = as_transport(transport)
         self.config = config
         self.jitter_rng = jitter_rng
         self.on_give_up = on_give_up
@@ -330,7 +319,7 @@ class ReliableChannel:
         if self._breakers is not None:
             breaker = self._breakers.get(dst)
             if breaker is not None and not breaker.allow(
-                self.network.sim.now, self.config.breaker_reset_timeout
+                self.transport.now, self.config.breaker_reset_timeout
             ):
                 self._c_breaker_refused.value += 1
                 self._dead_letter(dst, kind)
@@ -374,8 +363,8 @@ class ReliableChannel:
         return timeout
 
     def _transmit(self, out: _Outstanding) -> None:
-        out.sent_at = self.network.sim.now
-        self.network.send(
+        out.sent_at = self.transport.now
+        self.transport.send(
             self.node_id,
             out.dst,
             out.kind,
@@ -408,7 +397,7 @@ class ReliableChannel:
             _C_RETRIES.value += 1
             self._transmit(out)
 
-        self.network.sim.schedule(
+        self.transport.schedule(
             self._attempt_timeout(armed_attempt, out.dst), on_timeout
         )
 
@@ -427,7 +416,7 @@ class ReliableChannel:
             if estimator is None:
                 estimator = _RttEstimator()
                 self._rtt[out.dst] = estimator
-            estimator.observe(self.network.sim.now - out.sent_at)
+            estimator.observe(self.transport.now - out.sent_at)
 
     def cancel_all(self) -> None:
         """Drop every in-flight delivery (armed timers become no-ops).
@@ -464,7 +453,7 @@ class ReliableChannel:
             self._breakers[dst] = breaker
         was_closed = breaker.state == "closed"
         breaker.record_failure(
-            self.config.breaker_threshold, self.network.sim.now
+            self.config.breaker_threshold, self.transport.now
         )
         if was_closed and breaker.state == "open":
             self._g_breakers_open.value += 1
@@ -515,7 +504,7 @@ class ReliableChannel:
             return False
         from repro.overlay.messages import Ack
 
-        self.network.send(
+        self.transport.send(
             self.node_id,
             message.src,
             "ack",

@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING
 
 from repro import obs
 from repro.reliability.channel import _CONTROL_SIZE, ReliabilityConfig
-from repro.sim.network import Network
+from repro.transport import Transport, as_transport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.overlay import messages as m
@@ -43,10 +43,11 @@ class FailureDetector:
     """Tracks miss counts and the suspect set for one peer."""
 
     def __init__(
-        self, node_id: int, network: Network, config: ReliabilityConfig
+        self, node_id: int, transport: Transport, config: ReliabilityConfig
     ) -> None:
         self.node_id = node_id
-        self.network = network
+        # Accepts a bare simulated Network too (legacy callers, tests).
+        self.transport = as_transport(transport)
         self.config = config
         #: consecutive misses per target.
         self._misses: dict[int, int] = {}
@@ -119,7 +120,7 @@ class FailureDetector:
         key = (target, self._next_probe_id)
         self._pending.add(key)
         _C_PROBES.value += 1
-        self.network.send(
+        self.transport.send(
             self.node_id,
             target,
             "ping",
@@ -133,7 +134,7 @@ class FailureDetector:
             self._pending.discard(key)
             self.note_missed(target)
 
-        self.network.sim.schedule(self.config.probe_timeout, on_timeout)
+        self.transport.schedule(self.config.probe_timeout, on_timeout)
 
     def handle_pong(self, pong: "m.Pong") -> None:
         self._pending.discard((pong.responder_id, pong.probe_id))

@@ -20,6 +20,7 @@ the paper's protocols must tolerate.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -27,6 +28,11 @@ from repro import obs
 from repro.sim.engine import Simulator
 
 __all__ = ["Message", "Network", "NetworkStats"]
+
+#: one shim warning per process (PR 4 ``--seeds`` pattern): the first
+#: deprecated ``Network.send`` call warns, the rest stay silent so test
+#: suites and legacy hot loops are not drowned in repeats.
+_SEND_SHIM_WARNED = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -323,7 +329,7 @@ class Network:
         transfer = 0.0 if self.bandwidth is None else size_bytes / self.bandwidth
         return self.base_latency + transfer
 
-    def send(
+    def transmit(
         self,
         src: int,
         dst: int,
@@ -340,6 +346,10 @@ class Network:
         sender gets no error (UDP-like semantics; senders needing
         reliability layer an ack/retry channel on top, tagging retries
         with a stable ``delivery_id`` — see :mod:`repro.reliability`).
+
+        Protocol code should not call this directly: peers go through a
+        :class:`repro.transport.Transport` (whose sim adapter binds this
+        method), keeping the protocols world-agnostic.
         """
         self._next_msg_id += 1
         message = Message(
@@ -408,6 +418,43 @@ class Network:
         self.sim.schedule(self.latency_for(size_bytes), deliver)
         return message
 
+    def send(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        payload: Any,
+        size_bytes: int = 256,
+        delivery_id: int = -1,
+        attempt: int = 0,
+    ) -> Message:
+        """Deprecated alias of :meth:`transmit` for direct callers.
+
+        Protocol code must route sends through a
+        :class:`repro.transport.Transport`; direct network sends bypass
+        the transport seam (and any reliability wrapper on it).  Warns
+        once per process, then delegates.
+        """
+        global _SEND_SHIM_WARNED
+        if not _SEND_SHIM_WARNED:
+            _SEND_SHIM_WARNED = True
+            warnings.warn(
+                "Network.send is deprecated: route protocol sends through "
+                "a repro.transport.Transport (or call Network.transmit for "
+                "harness-level injection)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return self.transmit(
+            src,
+            dst,
+            kind,
+            payload,
+            size_bytes=size_bytes,
+            delivery_id=delivery_id,
+            attempt=attempt,
+        )
+
     def _drop(self, message: Message, reason: str) -> None:
         self.stats.record_dropped(reason)
         self._c_dropped.value += 1
@@ -433,6 +480,6 @@ class Network:
         count = 0
         for dst in dsts:
             if dst != src:
-                self.send(src, dst, kind, payload, size_bytes=size_bytes)
+                self.transmit(src, dst, kind, payload, size_bytes=size_bytes)
                 count += 1
         return count

@@ -1,0 +1,119 @@
+"""The :class:`Transport` interface and the ``as_transport`` coercion.
+
+A transport owns everything a protocol endpoint needs from the outside
+world: datagram-style sends, delivery-callback registration, a time
+source, one-shot timer scheduling, and a liveness oracle.  Protocol
+code holding a ``Transport`` runs unchanged over the discrete-event
+simulator (:class:`repro.transport.sim.SimTransport`) and over real
+sockets (:class:`repro.live.AsyncioTransport`).
+
+Design constraints:
+
+* **No ABCMeta.**  Adapters rebind hot methods as instance attributes
+  (``self.send = network.transmit``) so the simulated hot path pays no
+  extra frames; abstract-method machinery would fight that.
+* **``schedule`` returns a cancellable.**  Anything with a ``cancel()``
+  method — the simulator's ``Event`` or asyncio's ``TimerHandle``.
+* **``now`` is a property**, matching ``Simulator.now`` so protocol
+  timestamps read the same in both worlds (sim time units vs. loop
+  seconds).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["Transport", "as_transport"]
+
+
+class Transport:
+    """Interface between protocol endpoints and the world.
+
+    Semantics are UDP-like: :meth:`send` never raises for dead or
+    unknown destinations — the message is silently dropped and counted;
+    senders needing delivery guarantees compose an ack/retry layer on
+    top (:class:`repro.transport.reliable.ReliableTransport`).
+    """
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def register(self, node_id: int, handler: Callable[[Any], None]) -> None:
+        """Attach a node's delivery handler; inbound messages for
+        ``node_id`` invoke ``handler(message)``."""
+        raise NotImplementedError
+
+    def unregister(self, node_id: int) -> None:
+        """Detach a node's handler (graceful leave)."""
+        raise NotImplementedError
+
+    def is_alive(self, node_id: int) -> bool:
+        """Best local knowledge of whether ``node_id`` can receive."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        payload: Any,
+        size_bytes: int = 256,
+        delivery_id: int = -1,
+        attempt: int = 0,
+    ):
+        """Fire-and-forget datagram send; returns the in-flight message
+        (or None for transports that do not materialize one)."""
+        raise NotImplementedError
+
+    def broadcast(
+        self, src: int, dsts, kind: str, payload: Any, size_bytes: int = 256
+    ) -> int:
+        """Send the same payload to many destinations; returns the count."""
+        count = 0
+        for dst in dsts:
+            if dst != src:
+                self.send(src, dst, kind, payload, size_bytes=size_bytes)
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current transport time (simulated units or loop seconds)."""
+        raise NotImplementedError
+
+    def schedule(self, delay: float, callback: Callable[[], None]):
+        """Run ``callback`` after ``delay``; returns an object with a
+        ``cancel()`` method."""
+        raise NotImplementedError
+
+
+def as_transport(obj) -> Transport:
+    """Coerce a ``Transport`` or a simulated ``Network`` to a ``Transport``.
+
+    Legacy constructors (``Peer(..., network=net)``, direct
+    ``ReliableChannel(node_id, net, ...)`` construction in tests) pass a
+    bare :class:`repro.sim.network.Network`; each network gets exactly
+    one cached :class:`~repro.transport.sim.SimTransport` so every peer
+    of a simulation shares the same adapter instance.
+    """
+    if isinstance(obj, Transport):
+        return obj
+    # Imported here: sim.py subclasses Transport from this module.
+    from repro.sim.network import Network
+    from repro.transport.sim import SimTransport
+
+    if isinstance(obj, Network):
+        adapter = getattr(obj, "_sim_transport", None)
+        if adapter is None:
+            adapter = SimTransport(obj)
+            obj._sim_transport = adapter
+        return adapter
+    raise TypeError(
+        f"expected a Transport or Network, got {type(obj).__name__}"
+    )

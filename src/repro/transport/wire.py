@@ -1,0 +1,214 @@
+"""Versioned wire codec for live transports: ``repro.wire/v1``.
+
+A frame on the wire is::
+
+    4-byte big-endian body length | body
+
+where the body is a codec-encoded (JSON by default, msgpack when
+available and requested) *envelope*::
+
+    {"schema": "repro.wire/v1", "kind": ..., "src": ..., "dst": ...,
+     "size": ..., "delivery_id": ..., "attempt": ..., "payload": ...}
+
+``payload`` is the existing :func:`repro.overlay.messages.to_wire`
+record (``{"type": ClassName, "fields": {...}}``), so every protocol
+dataclass that travels through the simulator travels unchanged over
+UDP.  Decoding **fails fast**: an unknown schema tag, a truncated
+header, a length mismatch, codec garbage, or an unregistered payload
+type all raise :class:`WireDecodeError` before any protocol code runs.
+
+msgpack is optional — the container may not ship it — so it is gated:
+requesting ``codec="msgpack"`` without the module raises a clear
+:class:`WireError` instead of an import-time crash.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.overlay.messages import from_wire, to_wire
+
+try:  # optional accelerator; absent in the default container
+    import msgpack  # type: ignore
+except ImportError:  # pragma: no cover - environment-dependent
+    msgpack = None
+
+__all__ = [
+    "WIRE_SCHEMA",
+    "WireError",
+    "WireDecodeError",
+    "WireFrame",
+    "encode_envelope",
+    "decode_envelope",
+    "encode_frame",
+    "decode_frame",
+    "available_codecs",
+]
+
+WIRE_SCHEMA = "repro.wire/v1"
+
+#: frame body length prefix: 4 bytes, big-endian.
+HEADER_BYTES = 4
+#: hard cap on one frame body (64 MiB) — a corrupt length prefix must
+#: not convince a reader to wait for gigabytes.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class WireError(Exception):
+    """Base class for wire-codec failures (encode side included)."""
+
+
+class WireDecodeError(WireError):
+    """A frame failed to decode: wrong schema, truncated, or corrupt."""
+
+
+@dataclass(frozen=True, slots=True)
+class WireFrame:
+    """The transport-level fields of one message, codec-independent."""
+
+    kind: str
+    src: int
+    dst: int
+    payload: Any = None
+    size_bytes: int = 256
+    delivery_id: int = -1
+    attempt: int = 0
+
+
+def available_codecs() -> tuple[str, ...]:
+    """Codecs usable in this process (json always; msgpack if present)."""
+    return ("json", "msgpack") if msgpack is not None else ("json",)
+
+
+def _dumps(envelope: dict, codec: str) -> bytes:
+    if codec == "json":
+        return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+    if codec == "msgpack":
+        if msgpack is None:
+            raise WireError(
+                "codec 'msgpack' requested but msgpack is not installed; "
+                "use codec='json'"
+            )
+        return msgpack.packb(envelope, use_bin_type=True)
+    raise WireError(f"unknown wire codec {codec!r}")
+
+
+def _loads(body: bytes, codec: str) -> Any:
+    if codec == "json":
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireDecodeError(f"frame body is not valid JSON: {exc}") from exc
+    if codec == "msgpack":
+        if msgpack is None:
+            raise WireError(
+                "codec 'msgpack' requested but msgpack is not installed; "
+                "use codec='json'"
+            )
+        try:
+            return msgpack.unpackb(body, raw=False)
+        except Exception as exc:  # msgpack raises a family of errors
+            raise WireDecodeError(
+                f"frame body is not valid msgpack: {exc}"
+            ) from exc
+    raise WireError(f"unknown wire codec {codec!r}")
+
+
+def encode_envelope(frame: WireFrame) -> dict:
+    """Build the schema-tagged envelope dict for ``frame``."""
+    return {
+        "schema": WIRE_SCHEMA,
+        "kind": frame.kind,
+        "src": frame.src,
+        "dst": frame.dst,
+        "size": frame.size_bytes,
+        "delivery_id": frame.delivery_id,
+        "attempt": frame.attempt,
+        "payload": None if frame.payload is None else to_wire(frame.payload),
+    }
+
+
+def decode_envelope(envelope: Any) -> WireFrame:
+    """Validate an envelope and rebuild its :class:`WireFrame`.
+
+    Fast-fail contract: the schema tag is checked *first*, so readers
+    reject frames from a future ``repro.wire/v2`` (or arbitrary noise
+    that happens to parse) before looking at any other field.
+    """
+    if not isinstance(envelope, dict):
+        raise WireDecodeError(
+            f"envelope must be a mapping, got {type(envelope).__name__}"
+        )
+    schema = envelope.get("schema")
+    if schema != WIRE_SCHEMA:
+        raise WireDecodeError(
+            f"unsupported wire schema {schema!r} (expected {WIRE_SCHEMA!r})"
+        )
+    try:
+        kind = envelope["kind"]
+        src = int(envelope["src"])
+        dst = int(envelope["dst"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireDecodeError(f"envelope missing/invalid field: {exc}") from exc
+    if not isinstance(kind, str):
+        raise WireDecodeError(f"kind must be a string, got {kind!r}")
+    raw_payload = envelope.get("payload")
+    if raw_payload is None:
+        payload = None
+    else:
+        try:
+            payload = from_wire(raw_payload)
+        except (TypeError, KeyError, ValueError) as exc:
+            raise WireDecodeError(f"payload failed to decode: {exc}") from exc
+    try:
+        size_bytes = int(envelope.get("size", 256))
+        delivery_id = int(envelope.get("delivery_id", -1))
+        attempt = int(envelope.get("attempt", 0))
+    except (TypeError, ValueError) as exc:
+        raise WireDecodeError(f"envelope metadata invalid: {exc}") from exc
+    return WireFrame(
+        kind=kind,
+        src=src,
+        dst=dst,
+        payload=payload,
+        size_bytes=size_bytes,
+        delivery_id=delivery_id,
+        attempt=attempt,
+    )
+
+
+def encode_frame(frame: WireFrame, codec: str = "json") -> bytes:
+    """Encode ``frame`` into one length-prefixed wire frame."""
+    body = _dumps(encode_envelope(frame), codec)
+    if len(body) > MAX_BODY_BYTES:
+        raise WireError(
+            f"frame body of {len(body)} bytes exceeds cap {MAX_BODY_BYTES}"
+        )
+    return len(body).to_bytes(HEADER_BYTES, "big") + body
+
+
+def decode_frame(data: bytes, codec: str = "json") -> WireFrame:
+    """Decode one complete wire frame (as carried by a UDP datagram).
+
+    The datagram must contain exactly one frame: a short header, a body
+    shorter or longer than the declared length, or an over-cap length
+    all raise :class:`WireDecodeError`.
+    """
+    if len(data) < HEADER_BYTES:
+        raise WireDecodeError(
+            f"truncated frame: {len(data)} bytes is shorter than the header"
+        )
+    declared = int.from_bytes(data[:HEADER_BYTES], "big")
+    if declared > MAX_BODY_BYTES:
+        raise WireDecodeError(
+            f"declared body of {declared} bytes exceeds cap {MAX_BODY_BYTES}"
+        )
+    body = data[HEADER_BYTES:]
+    if len(body) != declared:
+        raise WireDecodeError(
+            f"frame length mismatch: header declares {declared} bytes, "
+            f"datagram carries {len(body)}"
+        )
+    return decode_envelope(_loads(bytes(body), codec))

@@ -1,0 +1,206 @@
+"""The versioned wire envelope: round-trip fidelity and fast-fail decode.
+
+The decode contract under test: any byte string either decodes to a
+valid :class:`WireFrame` or raises :class:`WireDecodeError` — never an
+``IndexError``, ``KeyError``, or other incidental exception — and an
+unsupported schema tag is rejected before any other field is examined.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.overlay import messages as m
+from repro.overlay.metadata import DCRTEntry
+from repro.transport.wire import (
+    HEADER_BYTES,
+    MAX_BODY_BYTES,
+    WIRE_SCHEMA,
+    WireDecodeError,
+    WireError,
+    WireFrame,
+    available_codecs,
+    decode_envelope,
+    decode_frame,
+    encode_envelope,
+    encode_frame,
+)
+
+PAYLOADS = [
+    None,
+    m.QueryMessage(query_id=7, requester_id=1, category_id=3, remaining=2),
+    m.QueryResponse(
+        query_id=7,
+        doc_ids=(4, 9),
+        responder_id=2,
+        hops=3,
+        dcrt_updates=((3, DCRTEntry(1, 5)),),
+        doc_infos=(m.DocInfo(doc_id=4, categories=(3, 5), size_bytes=1024),),
+    ),
+    m.JoinReply(
+        responder_id=0,
+        dcrt_snapshot=((0, DCRTEntry(0, 0)), (1, DCRTEntry(2, 3))),
+        nrt_snapshot=((0, (0, 1, 2)), (2, (5,))),
+    ),
+    m.ChunkData(
+        request_id=1_000_000_000_001,
+        fetch_id=12,
+        responder_id=3,
+        doc_id=4,
+        chunk_index=1,
+        chunk_hash=(1 << 62) + 17,
+        size_bytes=65_536,
+    ),
+    m.Ack(delivery_id=55, receiver_id=9),
+]
+
+
+@pytest.mark.parametrize("payload", PAYLOADS, ids=lambda p: type(p).__name__)
+def test_frame_round_trip(payload):
+    frame = WireFrame(
+        kind="test",
+        src=1,
+        dst=2,
+        payload=payload,
+        size_bytes=512,
+        delivery_id=7,
+        attempt=2,
+    )
+    decoded = decode_frame(encode_frame(frame))
+    assert decoded == frame  # tuples and nested types restored exactly
+
+
+def test_round_trip_defaults():
+    frame = WireFrame(kind="ping", src=0, dst=1)
+    decoded = decode_frame(encode_frame(frame))
+    assert decoded.size_bytes == 256
+    assert decoded.delivery_id == -1
+    assert decoded.attempt == 0
+
+
+def test_unknown_schema_fails_fast():
+    envelope = encode_envelope(WireFrame(kind="x", src=0, dst=1))
+    envelope["schema"] = "repro.wire/v2"
+    # Fast-fail contract: the schema is checked before anything else, so
+    # even an otherwise-broken envelope reports the schema mismatch.
+    envelope["payload"] = {"nonsense": True}
+    del envelope["kind"]
+    with pytest.raises(WireDecodeError, match="unsupported wire schema"):
+        decode_envelope(envelope)
+
+
+def test_missing_schema_rejected():
+    with pytest.raises(WireDecodeError, match="unsupported wire schema"):
+        decode_envelope({"kind": "x", "src": 0, "dst": 1})
+
+
+def test_non_mapping_envelope_rejected():
+    with pytest.raises(WireDecodeError, match="mapping"):
+        decode_envelope([1, 2, 3])
+
+
+def test_unregistered_payload_type_rejected():
+    envelope = encode_envelope(WireFrame(kind="x", src=0, dst=1))
+    envelope["payload"] = {"type": "NoSuchMessage", "fields": {}}
+    with pytest.raises(WireDecodeError, match="payload failed to decode"):
+        decode_envelope(envelope)
+
+
+def test_truncated_header_rejected():
+    with pytest.raises(WireDecodeError, match="truncated"):
+        decode_frame(b"\x00\x01")
+
+
+def test_length_mismatch_rejected():
+    data = encode_frame(WireFrame(kind="x", src=0, dst=1))
+    with pytest.raises(WireDecodeError, match="length mismatch"):
+        decode_frame(data[:-1])
+    with pytest.raises(WireDecodeError, match="length mismatch"):
+        decode_frame(data + b"!")
+
+
+def test_over_cap_declared_length_rejected():
+    header = (MAX_BODY_BYTES + 1).to_bytes(HEADER_BYTES, "big")
+    with pytest.raises(WireDecodeError, match="exceeds cap"):
+        decode_frame(header + b"x")
+
+
+def test_corrupt_body_rejected():
+    body = b"this is not json at all {{{"
+    data = len(body).to_bytes(HEADER_BYTES, "big") + body
+    with pytest.raises(WireDecodeError, match="not valid JSON"):
+        decode_frame(data)
+
+
+def test_unknown_codec_rejected():
+    frame = WireFrame(kind="x", src=0, dst=1)
+    with pytest.raises(WireError, match="unknown wire codec"):
+        encode_frame(frame, codec="bson")
+    with pytest.raises(WireError, match="unknown wire codec"):
+        decode_frame(encode_frame(frame), codec="bson")
+
+
+def test_msgpack_gated_when_absent():
+    if "msgpack" in available_codecs():
+        pytest.skip("msgpack installed in this environment")
+    with pytest.raises(WireError, match="msgpack is not installed"):
+        encode_frame(WireFrame(kind="x", src=0, dst=1), codec="msgpack")
+
+
+def test_json_always_available():
+    assert "json" in available_codecs()
+
+
+def test_schema_tag_on_the_wire():
+    data = encode_frame(WireFrame(kind="x", src=0, dst=1))
+    envelope = json.loads(data[HEADER_BYTES:])
+    assert envelope["schema"] == WIRE_SCHEMA
+
+
+def _assert_decode_is_total(data: bytes) -> None:
+    """Decode must return a frame or raise WireDecodeError — nothing else."""
+    try:
+        frame = decode_frame(data)
+    except WireDecodeError:
+        return
+    assert isinstance(frame, WireFrame)
+
+
+def test_fuzz_truncations():
+    data = encode_frame(
+        WireFrame(
+            kind="query",
+            src=3,
+            dst=4,
+            payload=m.QueryMessage(
+                query_id=1, requester_id=3, category_id=0, remaining=1
+            ),
+        )
+    )
+    for cut in range(len(data)):
+        _assert_decode_is_total(data[:cut])
+
+
+def test_fuzz_corruptions():
+    rng = random.Random(0xC0DEC)
+    base = encode_frame(
+        WireFrame(
+            kind="query_response",
+            src=1,
+            dst=2,
+            payload=PAYLOADS[2],
+        )
+    )
+    for _ in range(400):
+        data = bytearray(base)
+        for _ in range(rng.randint(1, 6)):
+            data[rng.randrange(len(data))] = rng.randrange(256)
+        _assert_decode_is_total(bytes(data))
+
+
+def test_fuzz_random_noise():
+    rng = random.Random(0xBADF00D)
+    for _ in range(200):
+        data = bytes(rng.randrange(256) for _ in range(rng.randrange(0, 64)))
+        _assert_decode_is_total(data)
