@@ -24,11 +24,13 @@ from repro.chaos.invariants import InvariantChecker, Violation
 from repro.chaos.scenario import Schedule, ScenarioConfig
 from repro.content import ContentConfig
 from repro.core.maxfair import maxfair
+from repro.durability import DurabilityConfig
 from repro.core.popularity import build_category_stats
 from repro.core.replication import plan_replication
 from repro.model.system import SystemConfig, build_system
 from repro.model.workload import Query, QueryWorkload, make_query_workload
 from repro.overlay.adaptation import broadcast_notice, plan_category_move
+from repro.overlay.metadata import DCRTEntry
 from repro.overlay.peer import DocInfo, MisbehaviorConfig
 from repro.overlay.replication_manager import ReplicationConfig
 from repro.overlay.service import ServiceConfig
@@ -138,6 +140,11 @@ class ChaosRunner:
             if config.content
             else ContentConfig()
         )
+        durability = (
+            DurabilityConfig(enabled=True)
+            if config.recovery
+            else DurabilityConfig()
+        )
         self.system = P2PSystem(
             self.instance,
             assignment,
@@ -148,6 +155,7 @@ class ChaosRunner:
                 service=service,
                 replication=replication,
                 content=content,
+                durability=durability,
                 cache_capacity=8 if config.adaptive_replication else 0,
             ),
         )
@@ -195,6 +203,12 @@ class ChaosRunner:
                     # under constant exercise, then one healing scan
                     # re-replicates chunks churn pushed below the floor.
                     self._content_round()
+                if self.config.recovery:
+                    # One reconciliation pass per entry: divergent
+                    # ownership beliefs (healed partitions, replayed
+                    # journals) are fenced back to a single owner before
+                    # the next entry's invariant pass.
+                    self.system.run_reconciliation_round()
         finally:
             if self._unregister is not None:
                 self._unregister()
@@ -526,6 +540,71 @@ class ChaosRunner:
             self.checker.check_graceful_shutdown(node_id, docs_before)
         return ok
 
+    # -- durability actions (ScenarioConfig.recovery) --------------------
+    def _do_power_loss(self, step: int, rank: int) -> bool:
+        # A full amnesia crash/recover cycle: wipe the victim's volatile
+        # memory (its disk — journal, partial chunks, corruption marks —
+        # survives), replay the journal on recovery, reconcile ownership,
+        # give healing one round, then demand full recovery.
+        alive = self._alive_ids()
+        if len(alive) <= self.config.min_alive:
+            return False
+        node_id = alive[rank % len(alive)]
+        system = self.system
+        system.power_loss(node_id)
+        system.sim.run()
+        system.recover_node(node_id)
+        system.run_reconciliation_round()
+        system.run_healing_round()
+        if self.check_invariants:
+            self.checker.check_recovery(node_id)
+        return True
+
+    def _do_split_brain_heal(
+        self, step: int, category: int, fraction: float, salt: int
+    ) -> bool:
+        # Engineer a split brain: partition the network, let the minority
+        # side adopt a conflicting ownership belief for one category (a
+        # bumped move counter, as a stale owner rebalancing while
+        # isolated would gossip), then heal and reconcile — every live
+        # peer must converge back to the fenced authoritative owner.
+        system = self.system
+        alive = sorted(self._alive_ids())
+        if len(alive) < 4 or system.assignment.n_clusters < 2:
+            return False
+        category_id = category % self.config.n_categories
+        rotation = salt % len(alive)
+        rotated = alive[rotation:] + alive[:rotation]
+        split = max(1, int(len(rotated) * fraction))
+        minority, majority = rotated[:split], rotated[split:]
+        system.network.schedule_partition(0.0, [minority, majority])
+        system.sim.run()
+        target = int(system.assignment.category_to_cluster[category_id])
+        stale_cluster = (target + 1) % system.assignment.n_clusters
+        counter = int(system.assignment.move_counters[category_id]) + 1
+        for node_id in minority:
+            peer = system.peer(node_id)
+            if peer is not None:
+                peer.dcrt.merge(
+                    category_id, DCRTEntry(stale_cluster, counter)
+                )
+        system.network.schedule_heal(0.0)
+        system.sim.run()
+        # Let the divergent beliefs collide via gossip before the
+        # reconciliation passes fence them back to a single owner.
+        # Reconciliation is anti-entropy: one round's notices can be
+        # lost for good under a standing retry_storm/loss_ramp drop, so
+        # drive rounds until one finds nothing divergent (each round
+        # re-detects the stragglers and re-sends under a fresh epoch).
+        system.run_gossip_rounds(1)
+        for _ in range(8):
+            outcome = system.run_reconciliation_round()
+            if not outcome or not outcome["divergent"]:
+                break
+        if self.check_invariants:
+            self.checker.check_reconciliation(category_id)
+        return True
+
     def _do_adapt(self, step: int) -> bool:
         outcome = self.system.run_adaptation(round_id=step)
         if self.check_invariants:
@@ -533,6 +612,10 @@ class ChaosRunner:
         return True
 
     def _do_converge(self, step: int) -> bool:
+        if self.config.recovery:
+            # Fence any ownership divergence first so the gossip settle
+            # loop converges toward the reconciled owner, not away.
+            self.system.run_reconciliation_round()
         rounds = 0
         while rounds < MAX_SETTLE_ROUNDS and not self.checker.probe_convergence():
             self.system.run_gossip_rounds(1)

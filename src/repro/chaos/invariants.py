@@ -93,6 +93,27 @@ are invoked by the harness:
     A graceful shutdown leaves every document the leaver held with at
     least one other live holder (event-driven, checked per shutdown).
 
+When durable crash recovery runs (:attr:`P2PSystem.durability_enabled`),
+two structural checks join the quiescence set and one event-driven
+family is invoked by the harness:
+
+``no-acknowledged-write-loss``
+    Every document whose store was acknowledged into a peer's journal is
+    still held by that peer whenever the peer is alive with its memory
+    intact — a WAL record is a promise the volatile state must honor
+    (structural).  Conservation also widens: a powered-off node's
+    journal counts as "the document still exists", because its disk
+    survives the amnesia.
+``single-owner-per-epoch``
+    The epoch-claims ledger never assigns the same ``(category, epoch)``
+    to two different clusters, and no two live peers believe the same
+    nonzero epoch names different owners (structural).
+``recovery-convergence``
+    After a recovery (or reconciliation) round completes, the recovered
+    node holds and re-advertises every durable document, and all live
+    peers agree with the authoritative assignment on the reconciled
+    category (event-driven, checked per power-loss / heal).
+
 Structural checks run from the simulator's quiescence hook; the last
 three of the base set are event-driven, invoked by the harness when a
 workload, convergence window, or adaptation round completes.
@@ -116,6 +137,7 @@ __all__ = [
     "REPLICATION_INVARIANTS",
     "INTEGRITY_INVARIANTS",
     "CONTENT_INVARIANTS",
+    "RECOVERY_INVARIANTS",
 ]
 
 #: invariants evaluated at every quiescent step (vs. event-driven ones).
@@ -149,6 +171,14 @@ CONTENT_INVARIANTS = (
     "fetch-integrity",
     "chunk-availability",
     "no-sole-holder-loss",
+)
+
+#: invariants checked when durable crash recovery is enabled (the first
+#: two structural, the last event-driven).
+RECOVERY_INVARIANTS = (
+    "no-acknowledged-write-loss",
+    "single-owner-per-epoch",
+    "recovery-convergence",
 )
 
 _EPS = 1e-9
@@ -197,6 +227,12 @@ class InvariantChecker:
         #: how many fetch-ledger records have already been audited — the
         #: ledger is append-only, so only the settled tail is new.
         self._fetch_cursor = 0
+        #: how many epoch-ledger claims have already been audited (the
+        #: ledger is append-only) plus every (category, epoch) -> cluster
+        #: claim seen so far, so a conflicting re-claim is caught even
+        #: when the two claims land in different quiescent steps.
+        self._epoch_cursor = 0
+        self._epoch_claim_marks: dict[tuple[int, int], int] = {}
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -258,6 +294,13 @@ class InvariantChecker:
         if self.system.content_enabled:
             self._run("manifest-consistency", self._check_manifests)
             self._run("fetch-integrity", self._check_fetch_integrity)
+        # Durability checks are gated on the journals existing at all:
+        # persistence-free worlds run no extra checks, keeping goldens.
+        if self.system.durability_enabled:
+            self._run(
+                "no-acknowledged-write-loss", self._check_acknowledged_writes
+            )
+            self._run("single-owner-per-epoch", self._check_epoch_ownership)
 
     def _check_unique_ownership(self):
         assignment = self.system.assignment
@@ -304,6 +347,12 @@ class InvariantChecker:
         held: set[int] = set()
         for docs in self.system.stored_docs_by_node().values():
             held |= docs
+        if self.system.durability_enabled:
+            # A powered-off node's journal is its surviving disk: a doc
+            # that exists only there has not vanished — recovery will
+            # restore it — so the WAL counts toward conservation.
+            for docs in self.system.durable_docs_by_node().values():
+                held |= docs
         missing = self._expected_docs - held
         if missing:
             sample = sorted(missing)[:10]
@@ -513,6 +562,69 @@ class InvariantChecker:
                 )
         self._fetch_cursor = cursor
 
+    def _check_acknowledged_writes(self):
+        """A journaled store is an acknowledged write: any peer that is
+        alive with its memory intact must still hold every document its
+        own WAL says it does.  (A powered-off or amnesiac peer is exempt
+        until :meth:`P2PSystem.recover_node` replays its journal.)"""
+        durable = self.system.durable_docs_by_node()
+        for peer in self.system.alive_peers():
+            if peer.lost_memory:
+                continue
+            missing = durable.get(peer.node_id, frozenset()) - set(peer.docs)
+            if missing:
+                sample = sorted(missing)[:10]
+                yield (
+                    f"node {peer.node_id} acknowledged {len(missing)} "
+                    f"documents into its journal but no longer holds them "
+                    f"(sample: {sample})"
+                )
+
+    def _check_epoch_ownership(self):
+        """Single owner per epoch, two ways.
+
+        Ledger: the append-only epoch-claims ledger never assigns the
+        same ``(category, epoch)`` to two different clusters — the marks
+        persist across steps so a conflicting re-claim is caught even
+        when the claims land in different quiescent windows.
+
+        Peers: every nonzero epoch a live peer believes must exist in
+        the ledger (claims are recorded *before* the fenced notice is
+        sent, so a belief without a claim is a fabricated epoch), and no
+        belief may exceed the ledger's high-water mark for its category.
+        """
+        claims = self.system.epoch_claims()
+        for category_id, epoch, cluster_id in claims[self._epoch_cursor :]:
+            key = (category_id, epoch)
+            previous = self._epoch_claim_marks.get(key)
+            if previous is not None and previous != cluster_id:
+                yield (
+                    f"category {category_id} epoch {epoch} claimed by both "
+                    f"cluster {previous} and cluster {cluster_id}"
+                )
+            else:
+                self._epoch_claim_marks[key] = cluster_id
+        self._epoch_cursor = len(claims)
+        highest: dict[int, int] = {}
+        for (category_id, epoch), _cluster in self._epoch_claim_marks.items():
+            highest[category_id] = max(highest.get(category_id, 0), epoch)
+        for peer in self.system.alive_peers():
+            for category_id, epoch in sorted(peer.ownership_epochs.items()):
+                if epoch <= 0:
+                    continue
+                if (category_id, epoch) not in self._epoch_claim_marks:
+                    yield (
+                        f"node {peer.node_id} believes category "
+                        f"{category_id} epoch {epoch} which was never "
+                        f"claimed in the epoch ledger"
+                    )
+                elif epoch > highest.get(category_id, 0):
+                    yield (
+                        f"node {peer.node_id} believes category "
+                        f"{category_id} epoch {epoch} above the ledger "
+                        f"high-water mark {highest.get(category_id, 0)}"
+                    )
+
     # ------------------------------------------------------------------
     # event-driven checks
     # ------------------------------------------------------------------
@@ -561,6 +673,67 @@ class InvariantChecker:
                     )
 
         self._run("no-sole-holder-loss", check)
+
+    def check_recovery(self, node_id: int) -> None:
+        """Recovery convergence: after ``node_id`` recovered from a power
+        loss, it holds every document its journal acknowledged and the
+        holder directory re-advertises each of them."""
+
+        def check():
+            peer = self.system._peers.get(node_id)
+            if peer is None:
+                return
+            if not self.system.network.is_alive(node_id):
+                yield f"node {node_id} is not alive after recovery"
+                return
+            if peer.lost_memory:
+                yield (
+                    f"node {node_id} still reports lost memory after "
+                    f"recovery"
+                )
+            durable = self.system.durable_docs_by_node().get(
+                node_id, frozenset()
+            )
+            missing = durable - set(peer.docs)
+            if missing:
+                yield (
+                    f"recovered node {node_id} is missing "
+                    f"{len(missing)} durable documents "
+                    f"(sample: {sorted(missing)[:10]})"
+                )
+            holders_view = self.system.doc_holders_view()
+            unadvertised = {
+                doc_id
+                for doc_id in durable - missing
+                if node_id not in holders_view.get(doc_id, ())
+            }
+            if unadvertised:
+                yield (
+                    f"recovered node {node_id} holds but does not "
+                    f"re-advertise {len(unadvertised)} documents "
+                    f"(sample: {sorted(unadvertised)[:10]})"
+                )
+
+        self._run("recovery-convergence", check)
+
+    def check_reconciliation(self, category_id: int) -> None:
+        """Recovery convergence: after a partition heal's reconciliation
+        round, every live peer's DCRT agrees with the authoritative
+        assignment on the reconciled category."""
+
+        def check():
+            assignment = self.system.assignment
+            target = int(assignment.category_to_cluster[category_id])
+            for peer in self.system.alive_peers():
+                entry = peer.dcrt.entry(category_id)
+                if entry.cluster_id != target:
+                    yield (
+                        f"after reconciliation node {peer.node_id} still "
+                        f"maps category {category_id} to cluster "
+                        f"{entry.cluster_id} (authoritative: {target})"
+                    )
+
+        self._run("recovery-convergence", check)
 
     def check_outcomes(self, outcomes) -> None:
         """Query termination: every issued query has exactly one fate."""

@@ -26,6 +26,8 @@ __all__ = [
     "SCENARIO_ACTION_WEIGHTS",
     "CONTENT_EXTRA_ACTIONS",
     "CONTENT_ACTION_WEIGHTS",
+    "RECOVERY_EXTRA_ACTIONS",
+    "RECOVERY_ACTION_WEIGHTS",
     "ScenarioConfig",
     "ScheduleEntry",
     "Schedule",
@@ -97,6 +99,24 @@ CONTENT_ACTION_WEIGHTS: tuple[tuple[str, float], ...] = (
     DEFAULT_ACTION_WEIGHTS + CONTENT_EXTRA_ACTIONS
 )
 
+#: the durability actions (PR 10): amnesia crashes that wipe volatile
+#: memory but keep the disk, and split-brain partitions healed through
+#: the epoch-fenced reconciliation pass.  A separate tuple for the same
+#: golden-preserving reason as the tuples above — appending to the
+#: default weights would shift every existing schedule's RNG draws.
+RECOVERY_EXTRA_ACTIONS: tuple[tuple[str, float], ...] = (
+    ("power_loss", 1.5),
+    ("split_brain_heal", 1.0),
+)
+
+#: the content weights plus the recovery actions (opt-in via
+#: ``ScenarioConfig(content=True, recovery=True,
+#: action_weights=RECOVERY_ACTION_WEIGHTS)``) — recovery worlds run the
+#: content data plane too, so holdings re-verify against manifests.
+RECOVERY_ACTION_WEIGHTS: tuple[tuple[str, float], ...] = (
+    CONTENT_ACTION_WEIGHTS + RECOVERY_EXTRA_ACTIONS
+)
+
 
 @dataclass(frozen=True, slots=True)
 class ScenarioConfig:
@@ -155,6 +175,12 @@ class ScenarioConfig:
     #: healing floor for content worlds: anti-entropy re-replicates any
     #: document whose live holder count fell below this.
     content_floor: int = 2
+    #: build the world with per-peer durability journals (WAL +
+    #: snapshots), arm the ``power_loss`` / ``split_brain_heal`` action
+    #: handlers, and run the epoch-fenced reconciliation round after
+    #: every schedule entry.  Pair with ``RECOVERY_ACTION_WEIGHTS`` so
+    #: those actions appear in generated schedules.
+    recovery: bool = False
     action_weights: tuple[tuple[str, float], ...] = DEFAULT_ACTION_WEIGHTS
 
 
@@ -300,6 +326,20 @@ def _draw_params(action: str, rng, config: ScenarioConfig) -> dict:
         # Clean departure through the drain-and-handoff path: no
         # sole-holder chunk may be lost, unlike a crash.
         return {"rank": int(rng.integers(0, 1_000_000))}
+    if action == "power_loss":
+        # Amnesia crash: volatile memory wiped, disk (journal, partial
+        # chunks, corruption marks) kept — then recovery replays the
+        # snapshot+WAL and must converge within one healing round.
+        return {"rank": int(rng.integers(0, 1_000_000))}
+    if action == "split_brain_heal":
+        # Partition the network, let a stale owner try to reclaim a
+        # category on the minority side, then heal and reconcile: the
+        # higher-epoch owner must win (single-owner-per-epoch).
+        return {
+            "category": int(rng.integers(0, config.n_categories)),
+            "fraction": round(float(rng.uniform(0.2, 0.5)), 3),
+            "salt": int(rng.integers(0, 1_000_000)),
+        }
     if action == "retry_storm":
         # Drop reliable request kinds hard enough to force retransmission
         # chains (and some give-ups) across many concurrent deliveries.

@@ -89,6 +89,10 @@ class PeerContent:
         self.corrupt: dict[int, set[int]] = {}
         #: locally cached manifests (fetches, repairs, handoffs).
         self.manifests: dict[int, Manifest] = {}
+        #: optional ``(doc_id, manifest)`` callback fired whenever the
+        #: manifest cache learns or advances a version — the durability
+        #: journal's hook for replaying missed manifest bumps.
+        self.on_manifest: Callable | None = None
         self._fetches: dict[int, _Fetch] = {}
         #: request id -> (fetch id, chunk index) for in-flight requests.
         self._requests: dict[int, tuple[int, int]] = {}
@@ -197,6 +201,8 @@ class PeerContent:
         )
         self._fetches[fetch_id] = fetch
         self.manifests[doc_id] = manifest
+        if self.on_manifest is not None:
+            self.on_manifest(doc_id, manifest)
         already = self.partial.get(doc_id, set())
         for i in sorted(already & set(chunks)):
             # Chunks left behind by an abandoned fetch are already
@@ -397,15 +403,19 @@ class PeerContent:
         if cached is not None and repair.version > cached.version:
             from dataclasses import replace
 
-            self.manifests[repair.doc_id] = replace(
-                cached, version=repair.version
-            )
+            fresh = replace(cached, version=repair.version)
+            self.manifests[repair.doc_id] = fresh
+            if self.on_manifest is not None:
+                self.on_manifest(repair.doc_id, fresh)
 
     def handle_manifest_update(self, update: m.ManifestUpdate) -> None:
         """Cache a manifest announced to us (graceful-shutdown handoff)."""
         cached = self.manifests.get(update.doc_id)
         if cached is None or update.version >= cached.version:
-            self.manifests[update.doc_id] = manifest_from_update(update)
+            fresh = manifest_from_update(update)
+            self.manifests[update.doc_id] = fresh
+            if self.on_manifest is not None:
+                self.on_manifest(update.doc_id, fresh)
 
     def _complete(self, fetch: _Fetch) -> None:
         doc_id = fetch.info.doc_id
@@ -448,6 +458,18 @@ class PeerContent:
         """
         for fetch in list(self._fetches.values()):
             self._fail(fetch, "requester-crashed")
+
+    def lose_power(self) -> None:
+        """Amnesia crash: wipe volatile state, keep what lives on disk.
+
+        Cached manifests and request bookkeeping are memory and vanish;
+        ``partial`` (verified chunks on disk) and ``corrupt`` (the bits
+        are still bad after a reboot) survive.  Runs after
+        :meth:`on_crash` has already failed the in-flight fetches.
+        """
+        self.manifests.clear()
+        self._fetches.clear()
+        self._requests.clear()
 
     def in_flight(self) -> int:
         return len(self._fetches)

@@ -1,0 +1,235 @@
+"""Per-peer durability journal: WAL records + compacting snapshots.
+
+A :class:`PeerJournal` owns one peer's durable state stream.  The peer
+(and the deployment around it) appends one record per acknowledged
+state change — document stored or dropped, DCRT entry installed,
+ownership epoch adopted, cluster joined, manifest version learned —
+and the journal periodically compacts the log into a snapshot of the
+full durable state (provided by the owner through ``snapshot_fn``).
+
+Recovery is ``materialize(snapshot, records)``: the snapshot seeds the
+state and the WAL's longest valid prefix replays over it.  The result
+is a *canonical* dict (sorted lists, fixed keys) so that
+``encode_snapshot(materialize(...))`` is byte-comparable against
+``encode_snapshot(durable_state(peer))`` — the property the
+byte-identical-replay tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.durability.wal import (
+    decode_snapshot,
+    encode_record,
+    encode_snapshot,
+    replay_wal,
+)
+
+__all__ = [
+    "DurabilityConfig",
+    "PeerJournal",
+    "durable_state",
+    "materialize",
+    "empty_state",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class DurabilityConfig:
+    """Knobs for the durability layer (off by default).
+
+    Disabled means *nothing* is constructed: no journals, no WAL
+    appends, no extra invariant checks, and no RNG draws — default
+    runs, goldens, chaos reproducers, and BENCH comparisons stay
+    byte-identical.
+    """
+
+    #: master switch for the whole subsystem.
+    enabled: bool = False
+    #: WAL records between compacting snapshots.
+    snapshot_every: int = 256
+
+    def __post_init__(self) -> None:
+        if self.snapshot_every < 1:
+            raise ValueError(
+                f"snapshot_every must be >= 1, got {self.snapshot_every}"
+            )
+
+
+def empty_state() -> dict:
+    """The canonical durable state of a peer that never recorded anything."""
+    return {
+        "dcrt": [],
+        "docs": [],
+        "epochs": [],
+        "flags": {"capacity": 0.0, "free_rider": False},
+        "manifests": [],
+        "memberships": [],
+    }
+
+
+def durable_state(peer, flags: dict | None = None) -> dict:
+    """Snapshot a peer's durable state as the canonical dict.
+
+    ``peer`` is duck-typed (the overlay's :class:`Peer`): this module
+    must not import the overlay, which imports it.
+    """
+    state = empty_state()
+    state["docs"] = [
+        [doc_id, info.size_bytes, list(info.categories)]
+        for doc_id, info in sorted(peer.docs.items())
+    ]
+    state["dcrt"] = [
+        [category_id, entry.cluster_id, entry.move_counter]
+        for category_id, entry in peer.dcrt.items()
+    ]
+    state["epochs"] = [
+        [category_id, epoch]
+        for category_id, epoch in sorted(peer.ownership_epochs.items())
+        if epoch > 0
+    ]
+    state["memberships"] = sorted(peer.memberships)
+    content = peer.content_state
+    if content is not None:
+        state["manifests"] = [
+            [doc_id, manifest.size_bytes, manifest.chunk_size, manifest.version]
+            for doc_id, manifest in sorted(content.manifests.items())
+        ]
+    state["flags"] = {
+        "capacity": float(peer.capacity_units),
+        "free_rider": bool((flags or {}).get("free_rider", False)),
+    }
+    return state
+
+
+def materialize(snapshot: dict | None, records) -> dict:
+    """Snapshot + replayed WAL records -> the canonical durable state."""
+    docs: dict[int, tuple[int, list[int]]] = {}
+    dcrt: dict[int, tuple[int, int]] = {}
+    epochs: dict[int, int] = {}
+    memberships: set[int] = set()
+    manifests: dict[int, tuple[int, int, int]] = {}
+    flags = {"capacity": 0.0, "free_rider": False}
+    if snapshot is not None:
+        for doc_id, size_bytes, categories in snapshot.get("docs", ()):
+            docs[doc_id] = (size_bytes, list(categories))
+        for category_id, cluster_id, counter in snapshot.get("dcrt", ()):
+            dcrt[category_id] = (cluster_id, counter)
+        for category_id, epoch in snapshot.get("epochs", ()):
+            epochs[category_id] = epoch
+        memberships.update(snapshot.get("memberships", ()))
+        for doc_id, size_bytes, chunk_size, version in snapshot.get(
+            "manifests", ()
+        ):
+            manifests[doc_id] = (size_bytes, chunk_size, version)
+        flags.update(snapshot.get("flags", {}))
+    for record in records:
+        kind = record[0]
+        if kind == "store":
+            docs[record[1]] = (record[2], list(record[3]))
+        elif kind == "drop":
+            docs.pop(record[1], None)
+        elif kind == "dcrt":
+            dcrt[record[1]] = (record[2], record[3])
+        elif kind == "epoch":
+            epochs[record[1]] = max(epochs.get(record[1], 0), record[2])
+        elif kind == "join":
+            memberships.add(record[1])
+        elif kind == "manifest":
+            _doc, size_bytes, chunk_size, version = record[1:5]
+            current = manifests.get(record[1])
+            if current is None or version >= current[2]:
+                manifests[record[1]] = (size_bytes, chunk_size, version)
+        elif kind == "flags":
+            flags["capacity"] = float(record[1])
+            flags["free_rider"] = bool(record[2])
+        # Unknown kinds are skipped: older replayers tolerate newer logs.
+    return {
+        "dcrt": [
+            [category_id, cluster_id, counter]
+            for category_id, (cluster_id, counter) in sorted(dcrt.items())
+        ],
+        "docs": [
+            [doc_id, size_bytes, categories]
+            for doc_id, (size_bytes, categories) in sorted(docs.items())
+        ],
+        "epochs": [
+            [category_id, epoch]
+            for category_id, epoch in sorted(epochs.items())
+            if epoch > 0
+        ],
+        "flags": flags,
+        "manifests": [
+            [doc_id, size_bytes, chunk_size, version]
+            for doc_id, (size_bytes, chunk_size, version) in sorted(
+                manifests.items()
+            )
+        ],
+        "memberships": sorted(memberships),
+    }
+
+
+class PeerJournal:
+    """One peer's append-only WAL with periodic compacting snapshots."""
+
+    def __init__(
+        self, store, config: DurabilityConfig | None = None
+    ) -> None:
+        self.store = store
+        self.config = (
+            config if config is not None else DurabilityConfig(enabled=True)
+        )
+        #: () -> canonical durable state; set by the owning peer/system
+        #: at attach time.  Compaction is a no-op until it is set.
+        self.snapshot_fn = None
+        #: owner-level flags folded into snapshots (free-rider status).
+        self.flags: dict = {}
+        self.records_written = 0
+        self.snapshots_written = 0
+        self._records_since_snapshot = 0
+        #: doc ids the log currently acknowledges as held — maintained
+        #: incrementally so invariant checks do not replay the WAL.
+        self._durable_docs: set[int] = {
+            entry[0] for entry in self.load().get("docs", ())
+        }
+
+    # ------------------------------------------------------------------
+    def record(self, *record) -> None:
+        """Append one durable record (synchronous: the write IS the ack)."""
+        self.store.append(encode_record(record))
+        if record[0] == "store":
+            self._durable_docs.add(record[1])
+        elif record[0] == "drop":
+            self._durable_docs.discard(record[1])
+        self.records_written += 1
+        self._records_since_snapshot += 1
+        if (
+            self.snapshot_fn is not None
+            and self._records_since_snapshot >= self.config.snapshot_every
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Write a snapshot of the owner's full state; truncate the WAL."""
+        if self.snapshot_fn is None:
+            return
+        state = self.snapshot_fn()
+        self.store.write_snapshot(encode_snapshot(state))
+        self._durable_docs = {entry[0] for entry in state["docs"]}
+        self.snapshots_written += 1
+        self._records_since_snapshot = 0
+
+    def load(self) -> dict:
+        """Materialize snapshot + longest-valid-WAL-prefix into one state."""
+        snapshot_bytes, wal_bytes = self.store.load()
+        snapshot = (
+            decode_snapshot(snapshot_bytes)
+            if snapshot_bytes is not None
+            else None
+        )
+        return materialize(snapshot, replay_wal(wal_bytes))
+
+    def durable_doc_ids(self) -> frozenset[int]:
+        """Doc ids the journal currently acknowledges as held."""
+        return frozenset(self._durable_docs)

@@ -1,0 +1,98 @@
+"""Write-ahead-log and snapshot codec for per-peer durable state.
+
+The durable unit is a *record*: a small JSON-safe tuple whose first
+element names the change (``store``, ``drop``, ``dcrt``, ``epoch``,
+``join``, ``manifest``, ``flags``).  Records are framed one per line as
+``<crc32-hex> <json-body>\\n`` so that a torn tail — a write cut mid
+record by power loss — is detectable: replay applies the longest prefix
+of intact lines and stops at the first frame whose checksum or framing
+fails.  Everything after a torn record is unrecoverable by definition
+(the log is causally ordered), so stopping is the correct semantics,
+not a best-effort skip.
+
+Snapshots use the same one-frame encoding over a single canonical JSON
+object (sorted keys, no whitespace), which makes "byte-identical
+state" a checkable property: two peers with equal durable state encode
+to equal bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+__all__ = [
+    "encode_record",
+    "decode_frame",
+    "replay_wal",
+    "encode_snapshot",
+    "decode_snapshot",
+]
+
+
+def _frame(body: bytes) -> bytes:
+    return f"{zlib.crc32(body):08x} ".encode("ascii") + body + b"\n"
+
+
+def encode_record(record) -> bytes:
+    """One WAL record -> one checksummed, newline-terminated frame."""
+    body = json.dumps(list(record), separators=(",", ":")).encode("utf-8")
+    return _frame(body)
+
+
+def decode_frame(line: bytes):
+    """One frame (without the newline) -> the decoded value, or None.
+
+    None means the frame is torn or corrupt: missing checksum field,
+    checksum mismatch, or unparsable body.
+    """
+    prefix, _, body = line.partition(b" ")
+    if len(prefix) != 8 or not body:
+        return None
+    try:
+        expected = int(prefix, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(body) != expected:
+        return None
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+
+
+def replay_wal(data: bytes) -> list[tuple]:
+    """Decode the longest valid prefix of a WAL byte string.
+
+    A record whose frame fails to decode — including the common torn
+    write: a final line with no terminating newline — ends the replay;
+    everything before it is returned as tuples.
+    """
+    records: list[tuple] = []
+    offset = 0
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline < 0:
+            break  # torn tail: the record was cut before its newline
+        decoded = decode_frame(data[offset:newline])
+        if decoded is None or not isinstance(decoded, list) or not decoded:
+            break  # corrupt frame: nothing after it is trustworthy
+        records.append(tuple(decoded))
+        offset = newline + 1
+    return records
+
+
+def encode_snapshot(state: dict) -> bytes:
+    """Canonical (sorted-keys) checksummed encoding of one state dict."""
+    body = json.dumps(state, separators=(",", ":"), sort_keys=True).encode(
+        "utf-8"
+    )
+    return _frame(body)
+
+
+def decode_snapshot(data: bytes) -> dict | None:
+    """Inverse of :func:`encode_snapshot`; None when torn or corrupt."""
+    decoded = decode_frame(data.rstrip(b"\n"))
+    if not isinstance(decoded, dict):
+        return None
+    return decoded

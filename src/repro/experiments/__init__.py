@@ -21,6 +21,7 @@
 | CACHE-QOS | static vs adaptive replication, flash crowd | ``cache_qos`` |
 | SCENARIO | declarative workload-scenario matrix (no fig.) | ``scenario`` |
 | HEAL | fetch success vs churn, healing on/off (no fig.) | ``heal``    |
+| RECOVERY | crash/restart durability, persistence on/off (no fig.) | ``recovery`` |
 
 The X rows implement the paper's explicit future-work items ("fw").
 Each module exposes ``run(...) -> <Result>`` and ``format_result(result)``.
@@ -46,6 +47,7 @@ from repro.experiments import (  # noqa: F401  (re-exported for discovery)
     loss,
     overload,
     rebalance_cost,
+    recovery,
     scaling,
     scenario,
     storage,
@@ -78,6 +80,7 @@ EXPERIMENTS = {
     "CACHE-QOS": cache_qos,
     "SCENARIO": scenario,
     "HEAL": heal,
+    "RECOVERY": recovery,
 }
 
 #: experiment id -> :class:`ExperimentSpec`; the CLI and the

@@ -178,6 +178,17 @@ def add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
             "four content invariants — to generated schedules"
         ),
     )
+    parser.add_argument(
+        "--recovery-actions",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "fuzz only: journal every peer (durability on, implies "
+            "content actions) and add the power_loss/split_brain_heal "
+            "actions — and the three durability invariants — to "
+            "generated schedules"
+        ),
+    )
 
 
 def precheck_output_path(path: str | None, flag: str) -> str | None:

@@ -32,6 +32,7 @@ from repro.chaos.scenario import (
     CONTENT_EXTRA_ACTIONS,
     DEFAULT_ACTION_WEIGHTS,
     OVERLOAD_ACTION_WEIGHTS,
+    RECOVERY_EXTRA_ACTIONS,
     SCENARIO_EXTRA_ACTIONS,
 )
 from repro.experiments.registry import experiment_spec
@@ -58,6 +59,9 @@ class FuzzResult:
     #: True when worlds ran the content data plane (chunked fetches,
     #: read-repair, healing) with corrupt_chunk/graceful_shutdown actions.
     content_actions: bool = False
+    #: True when worlds ran durable journals with power_loss and
+    #: split_brain_heal actions (plus the three recovery invariants).
+    recovery_actions: bool = False
     reports: list[ChaosReport] = field(default_factory=list)
     #: shrunk reproducer for the first failing seed (None when all pass).
     minimal_repro: str | None = None
@@ -91,6 +95,7 @@ def run(
     adaptive_replication: bool = False,
     scenario_actions: bool = False,
     content_actions: bool = False,
+    recovery_actions: bool = False,
     scale: float | None = None,
 ) -> FuzzResult:
     """Fuzz ``seeds`` consecutive seeds starting at ``seed``.
@@ -121,6 +126,15 @@ def run(
     checked.  Again a separate appended weights tuple, so every other
     action mix replays unchanged.
 
+    With ``recovery_actions`` the worlds additionally run per-peer
+    durability journals (which implies the content data plane — a
+    recovered node's holdings are re-verified against manifests), the
+    schedules may include ``power_loss`` and ``split_brain_heal``
+    entries, and the three recovery invariants
+    (no-acknowledged-write-loss, single-owner-per-epoch,
+    recovery-convergence) are checked.  One more appended weights
+    tuple, so every other mix replays unchanged.
+
     ``scale`` is accepted for CLI uniformity but ignored: the chaos world
     uses a fixed multi-cluster configuration — paper-scale knobs collapse
     to one cluster at fuzz-friendly sizes, which would make the ownership
@@ -141,11 +155,16 @@ def run(
             kwargs.get("action_weights", DEFAULT_ACTION_WEIGHTS)
             + SCENARIO_EXTRA_ACTIONS
         )
-    if content_actions:
+    if content_actions or recovery_actions:
         kwargs["content"] = True
         kwargs["action_weights"] = (
             kwargs.get("action_weights", DEFAULT_ACTION_WEIGHTS)
             + CONTENT_EXTRA_ACTIONS
+        )
+    if recovery_actions:
+        kwargs["recovery"] = True
+        kwargs["action_weights"] = (
+            kwargs["action_weights"] + RECOVERY_EXTRA_ACTIONS
         )
     config = ScenarioConfig(**kwargs)
     result = FuzzResult(
@@ -157,6 +176,7 @@ def run(
         adaptive_replication=adaptive_replication,
         scenario_actions=scenario_actions,
         content_actions=content_actions,
+        recovery_actions=recovery_actions,
     )
     for fuzz_seed in range(seed, seed + seeds):
         schedule = generate_schedule(fuzz_seed, config)
@@ -183,6 +203,7 @@ def format_result(result: FuzzResult) -> str:
         + (", adaptive replication on" if result.adaptive_replication else "")
         + (", scenario actions on" if result.scenario_actions else "")
         + (", content actions on" if result.content_actions else "")
+        + (", recovery actions on" if result.recovery_actions else "")
     ]
     for report in result.reports:
         lines.append(f"  {report.summary()}")

@@ -120,6 +120,7 @@ def main(argv: list[str] | None = None) -> int:
                 kwargs["adaptive_replication"] = args.adaptive_replication
                 kwargs["scenario_actions"] = args.scenario_actions
                 kwargs["content_actions"] = args.content_actions
+                kwargs["recovery_actions"] = args.recovery_actions
                 if args.steps is not None:
                     kwargs["steps"] = args.steps
             with obs.Timer(obs.histogram(f"experiment.{exp_id.lower()}_s")):

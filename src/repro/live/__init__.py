@@ -15,6 +15,7 @@ from repro.live.node import (
     build_server_peer,
     format_routes,
     live_peer_config,
+    open_journal,
     parse_routes,
     run_node,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "build_server_peer",
     "format_routes",
     "live_peer_config",
+    "open_journal",
     "parse_routes",
     "run_node",
     "run_soak",

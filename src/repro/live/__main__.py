@@ -60,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
     node.add_argument("--codec", default="json")
     node.add_argument("--seed", type=int, default=0)
     node.add_argument("--heartbeat", type=float, default=0.5)
+    node.add_argument(
+        "--state-dir",
+        default=None,
+        help="directory for this node's WAL + snapshot; a restart "
+        "pointing at the same directory recovers its holdings",
+    )
     _add_world_args(node)
 
     soak = sub.add_parser("soak", help="supervised seed+N-peer soak run")
@@ -71,6 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--codec", default="json")
     soak.add_argument("--min-success", type=float, default=0.99)
     soak.add_argument("--metrics", default=None, help="JSONL event file")
+    soak.add_argument(
+        "--state-dir",
+        default=None,
+        help="root for per-node durability state; the mid-run restart "
+        "reuses the killed node's directory and the soak gates on its "
+        "recovered holdings being served again",
+    )
     soak.add_argument("--seed", type=int, default=1)
     soak.add_argument(
         "--no-kill",
@@ -97,6 +110,7 @@ def main(argv: list[str] | None = None) -> int:
                 codec=args.codec,
                 heartbeat_interval=args.heartbeat,
                 seed=args.seed,
+                state_dir=args.state_dir,
             )
         )
         return 0
@@ -111,6 +125,7 @@ def main(argv: list[str] | None = None) -> int:
             kill_restart=not args.no_kill,
             min_success=args.min_success,
             metrics_path=args.metrics,
+            state_dir=args.state_dir,
             seed=args.seed,
             world=_world_from(args),
         )

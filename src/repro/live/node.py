@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.content.chunks import ContentConfig
 from repro.content.manifest import Manifest, build_manifest
+from repro.durability import DurabilityConfig, FileStore, PeerJournal
 from repro.live.transport import AsyncioTransport
 from repro.overlay.messages import DocInfo
 from repro.overlay.peer import Peer, PeerConfig
@@ -44,6 +45,7 @@ __all__ = [
     "LiveWorld",
     "format_routes",
     "live_peer_config",
+    "open_journal",
     "parse_routes",
     "run_node",
 ]
@@ -161,6 +163,11 @@ def format_routes(routes: dict[int, tuple[str, int]]) -> str:
     )
 
 
+def open_journal(state_dir: str) -> PeerJournal:
+    """A file-backed durability journal rooted at ``state_dir``."""
+    return PeerJournal(FileStore(state_dir), DurabilityConfig(enabled=True))
+
+
 def build_server_peer(
     node_id: int,
     transport: AsyncioTransport,
@@ -168,11 +175,19 @@ def build_server_peer(
     server_ids: list[int],
     *,
     seed: int = 0,
+    journal: PeerJournal | None = None,
 ) -> Peer:
     """Construct one fully-stocked cluster-0 server over ``transport``.
 
     Exposed separately from :func:`run_node` so in-process tests can
     stand up a server without subprocess machinery.
+
+    With a ``journal`` whose store already acknowledges documents, the
+    peer *recovers* instead of re-stocking: snapshot + WAL replay
+    restores its holdings, DCRT, and memberships, and only the live
+    topology (NRT fellows, gossip neighbors) is re-pinned from flags.
+    A fresh journal is attached first, so the initial stocking itself
+    is the first thing it acknowledges.
     """
     peer = Peer(
         node_id,
@@ -182,10 +197,17 @@ def build_server_peer(
         jitter_rng=np.random.default_rng(seed * 104_729 + node_id),
         transport=transport,
     )
-    for doc_id in range(world.n_docs):
-        peer.store_document(world.doc_info(doc_id))
-    for category_id in range(world.n_categories):
-        peer.dcrt.set(category_id, 0)
+    state = journal.load() if journal is not None else None
+    if state is not None and state["docs"]:
+        peer.restore_durable_state(state)
+        peer.attach_journal(journal)
+    else:
+        if journal is not None:
+            peer.attach_journal(journal)
+        for doc_id in range(world.n_docs):
+            peer.store_document(world.doc_info(doc_id))
+        for category_id in range(world.n_categories):
+            peer.dcrt.set(category_id, 0)
     peer.join_cluster(0, known_members=server_ids)
     peer.set_cluster_neighbors(0, server_ids)
     return peer
@@ -200,12 +222,17 @@ async def run_node(
     codec: str = "json",
     heartbeat_interval: float = 0.5,
     seed: int = 0,
+    state_dir: str | None = None,
     ready_stream=None,
 ) -> None:
     """Run one server node until SIGTERM/SIGINT.
 
-    Prints ``READY <node_id> <port>`` once the socket is bound and the
-    peer is serving — the soak supervisor synchronizes on that line.
+    Prints ``READY <node_id> <port> recovered=<n>`` once the socket is
+    bound and the peer is serving — the soak supervisor synchronizes on
+    that line.  ``recovered`` counts the documents replayed from the
+    ``state_dir`` journal (0 on a fresh start or without persistence);
+    a restart that reuses a killed node's state dir recovers its
+    acknowledged holdings instead of rejoining empty.
     """
     if node_id not in routes:
         raise ValueError(f"node {node_id} missing from its own route map")
@@ -221,7 +248,11 @@ async def run_node(
     await transport.start(host, port)
     transport.set_routes(routes)
     server_ids = sorted(i for i in routes if i < CLIENT_ID_BASE)
-    peer = build_server_peer(node_id, transport, world, server_ids, seed=seed)
+    journal = open_journal(state_dir) if state_dir is not None else None
+    recovered = len(journal.durable_doc_ids()) if journal is not None else 0
+    peer = build_server_peer(
+        node_id, transport, world, server_ids, seed=seed, journal=journal
+    )
 
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -230,7 +261,11 @@ async def run_node(
             loop.add_signal_handler(signum, stop.set)
 
     stream = ready_stream if ready_stream is not None else sys.stdout
-    print(f"READY {node_id} {transport.local_address[1]}", file=stream, flush=True)
+    print(
+        f"READY {node_id} {transport.local_address[1]} recovered={recovered}",
+        file=stream,
+        flush=True,
+    )
 
     async def heartbeats() -> None:
         while not stop.is_set():
@@ -245,3 +280,5 @@ async def run_node(
         with contextlib.suppress(asyncio.CancelledError):
             await beat
         await transport.stop()
+        if journal is not None:
+            journal.store.close()

@@ -60,6 +60,12 @@ class SoakConfig:
     kill_restart: bool = True
     min_success: float = 0.99
     metrics_path: str | None = None
+    #: root directory for per-node durability state; when set, each
+    #: server runs with ``--state-dir <root>/node-<id>`` and the
+    #: mid-run restart reuses the killed node's directory, so the
+    #: replacement recovers its acknowledged holdings instead of
+    #: rejoining empty — and the soak gates on that recovery.
+    state_dir: str | None = None
     seed: int = 1
     world: LiveWorld = field(default_factory=LiveWorld)
     query_timeout: float = 6.0
@@ -129,6 +135,8 @@ class _ServerProc:
         self.env = env
         self.proc: asyncio.subprocess.Process | None = None
         self._drain: asyncio.Task | None = None
+        #: documents the node replayed from its state dir (READY line).
+        self.recovered = 0
 
     async def start(self, ready_timeout: float) -> None:
         self.proc = await asyncio.create_subprocess_exec(
@@ -150,7 +158,11 @@ class _ServerProc:
                     f"server {self.node_id} exited before READY "
                     f"(rc={self.proc.returncode})"
                 )
-            if line.decode(errors="replace").startswith("READY "):
+            text = line.decode(errors="replace")
+            if text.startswith("READY "):
+                for token in text.split():
+                    if token.startswith("recovered="):
+                        self.recovered = int(token.partition("=")[2])
                 return
 
     async def _drain_stdout(self) -> None:
@@ -198,7 +210,13 @@ def _node_cmd(
         "--codec", config.codec,
         "--seed", str(config.seed),
         "--heartbeat", str(config.heartbeat_interval),
-    ]
+    ] + (
+        # Per-node state dirs: a restart that rebuilds the same command
+        # reuses the killed node's directory, which is the whole point.
+        ["--state-dir", os.path.join(config.state_dir, f"node-{node_id}")]
+        if config.state_dir is not None
+        else []
+    )
 
 
 def _child_env() -> dict:
@@ -291,6 +309,37 @@ async def run_soak(config: SoakConfig) -> dict:
         beat_task = asyncio.create_task(heartbeats())
 
         victim = max(i for i in server_ids if i != 0)
+        chaos_state: dict = {"restart_recovered": None, "restart_served": None}
+
+        async def probe_victim() -> bool:
+            """Fetch one document with the restarted victim as the only
+            chunk source: succeeds only if the recovered holdings are
+            actually being served again."""
+            doc_id = 0
+            if doc_id in client.docs:
+                client.drop_document(doc_id)
+            manifest = world.manifest(doc_id)
+            sources = {i: (victim,) for i in range(manifest.n_chunks)}
+            future = loop.create_future()
+
+            def on_done(fetch_id: int, ok: bool, reason: str) -> None:
+                if not future.done():
+                    future.set_result(ok)
+
+            client.content_state.start_fetch(
+                2 * _FETCH_ID_BASE,
+                world.doc_info(doc_id),
+                manifest,
+                sources_fn=lambda: sources,
+                on_done=on_done,
+            )
+            try:
+                ok = await asyncio.wait_for(future, config.fetch_timeout)
+            except asyncio.TimeoutError:
+                ok = False
+            if ok:
+                client.drop_document(doc_id)
+            return ok
 
         async def chaos() -> None:
             await asyncio.sleep(config.duration / 3)
@@ -302,7 +351,22 @@ async def run_soak(config: SoakConfig) -> dict:
             )
             await replacement.start(config.ready_timeout)
             servers[victim] = replacement
-            metrics.emit({"event": "restart", "t": t(), "node": victim})
+            metrics.emit({
+                "event": "restart",
+                "t": t(),
+                "node": victim,
+                "recovered": replacement.recovered,
+            })
+            if config.state_dir is not None:
+                chaos_state["restart_recovered"] = replacement.recovered
+                served = await probe_victim()
+                chaos_state["restart_served"] = served
+                metrics.emit({
+                    "event": "restart_probe",
+                    "t": t(),
+                    "node": victim,
+                    "ok": served,
+                })
 
         if config.kill_restart:
             chaos_task = asyncio.create_task(chaos())
@@ -404,6 +468,15 @@ async def run_soak(config: SoakConfig) -> dict:
     total = counts["queries"] + counts["fetches"]
     total_ok = counts["queries_ok"] + counts["fetches_ok"]
     success_rate = total_ok / total if total else 0.0
+    # With persistence on, the soak additionally gates on the restarted
+    # victim having recovered its full corpus from its state dir *and*
+    # served it again (the probe fetch names it as the only source).
+    restart_ok = True
+    if config.kill_restart and config.state_dir is not None:
+        restart_ok = (
+            chaos_state["restart_recovered"] == world.n_docs
+            and chaos_state["restart_served"] is True
+        )
     summary = {
         "event": "summary",
         "t": t(),
@@ -413,8 +486,11 @@ async def run_soak(config: SoakConfig) -> dict:
         "fetches_ok": counts["fetches_ok"],
         "success_rate": round(success_rate, 6),
         "min_success": config.min_success,
-        "passed": success_rate >= config.min_success,
+        "passed": success_rate >= config.min_success and restart_ok,
         "kill_restart": config.kill_restart,
+        "persistence": config.state_dir is not None,
+        "restart_recovered_docs": chaos_state["restart_recovered"],
+        "restart_probe_ok": chaos_state["restart_served"],
         "loss": config.loss,
         "codec": config.codec,
         "n_peers": config.n_peers,

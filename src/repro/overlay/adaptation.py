@@ -103,6 +103,13 @@ def plan_category_move(
         for holder_id, doc_ids in sorted(designated.items())
     )
     move_counter = int(system.assignment.move_counters[category_id]) + 1
+    # With durability armed every move claims a fresh ownership epoch, so
+    # replayed or partition-stale notices are fenced out at the peers.
+    epoch = (
+        system.next_ownership_epoch(category_id)
+        if system.durability_enabled
+        else 0
+    )
     return m.ReassignNotice(
         category_id=category_id,
         source_cluster=source_cluster,
@@ -110,6 +117,7 @@ def plan_category_move(
         move_counter=move_counter,
         transfer_pairs=pairs,
         source_docs=source_docs,
+        epoch=epoch,
     )
 
 
@@ -140,7 +148,9 @@ def broadcast_notice(
             system.network.transmit(
                 coordinator_id, node_id, "reassign_notice", notice
             )
-    system.apply_reassignment(notice.category_id, notice.target_cluster)
+    system.apply_reassignment(
+        notice.category_id, notice.target_cluster, epoch=notice.epoch
+    )
 
 
 @dataclass(frozen=True, slots=True)

@@ -256,6 +256,12 @@ class ReassignNotice:
     #: replicas sit on every source node.  Sources without an entry fall
     #: back to shipping everything they hold.
     source_docs: tuple[tuple[int, tuple[int, ...]], ...] = ()
+    #: ownership epoch being claimed for the target cluster.  0 keeps the
+    #: legacy (unfenced) protocol; when durability is armed, peers reject
+    #: notices whose epoch does not exceed their recorded epoch for the
+    #: category — a stale pre-partition owner cannot reclaim a category
+    #: after the heal (single-owner-per-epoch).
+    epoch: int = 0
 
 
 @dataclass(frozen=True, slots=True)

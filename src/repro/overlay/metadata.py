@@ -83,6 +83,9 @@ class DCRT:
     """
 
     _entries: dict[int, DCRTEntry] = field(default_factory=dict)
+    #: optional ``(category_id, entry)`` callback fired whenever a row is
+    #: installed or replaced — the durability journal's write-ahead hook.
+    on_change: object | None = None
 
     DEFAULT_CLUSTER = 0
 
@@ -102,12 +105,17 @@ class DCRT:
         current = self._entries.get(category_id)
         if current is None or entry.move_counter > current.move_counter:
             self._entries[category_id] = entry
+            if self.on_change is not None:
+                self.on_change(category_id, entry)
             return True
         return False
 
     def set(self, category_id: int, cluster_id: int, move_counter: int = 0) -> None:
         """Unconditionally install an entry (bootstrap only)."""
-        self._entries[category_id] = DCRTEntry(cluster_id, move_counter)
+        entry = DCRTEntry(cluster_id, move_counter)
+        self._entries[category_id] = entry
+        if self.on_change is not None:
+            self.on_change(category_id, entry)
 
     def snapshot(self) -> dict[int, DCRTEntry]:
         """A copy of all entries — what nodes exchange during gossip."""

@@ -41,6 +41,7 @@ from repro import obs
 # modules that import this package, so going through its __init__ here
 # would close an import cycle.
 from repro.content.chunks import CHUNK_REQUEST_ID_BASE, ContentConfig
+from repro.durability import durable_state
 from repro.overlay import messages as m
 from repro.overlay.cache import DocumentCache
 from repro.overlay.cluster import elect_leader
@@ -311,6 +312,15 @@ class Peer:
         #: the deployment runs in super-peer mode (Section 3's hybrid
         #: alternative); empty in the fully-replicated-metadata mode.
         self.super_peers: dict[int, int] = {}
+        #: category -> highest ownership epoch this peer has adopted.
+        #: Epochs fence ReassignNotices when durability is armed (all
+        #: zero otherwise — the legacy unfenced protocol).
+        self.ownership_epochs: dict[int, int] = {}
+        #: durability journal (None unless the deployment attaches one).
+        self._journal = None
+        #: True between a power loss (memory wiped) and the replay that
+        #: restores durable state on recovery.
+        self._lost_memory = False
 
         #: reliable delivery: both halves of the ack/retry protocol plus
         #: the heartbeat failure detector.  Constructed unconditionally —
@@ -545,10 +555,18 @@ class Peer:
         """Store a document locally (contribution, replica, or transfer)."""
         self.docs[info.doc_id] = info
         self.dt.add(info.doc_id, info.categories)
+        # Write-ahead: the store is journaled before any hook can
+        # acknowledge it to the rest of the deployment.
+        if self._journal is not None:
+            self._journal.record(
+                "store", info.doc_id, info.size_bytes, list(info.categories)
+            )
         self.hooks.on_document_stored(self, info.doc_id)
 
     def drop_document(self, doc_id: int) -> None:
         if doc_id in self.docs:
+            if self._journal is not None:
+                self._journal.record("drop", doc_id)
             self.hooks.on_document_dropped(self, doc_id)
         self.docs.pop(doc_id, None)
         self.dt.remove(doc_id)
@@ -674,10 +692,143 @@ class Peer:
         capabilities = self.known_capabilities.setdefault(cluster_id, {})
         capabilities[self.node_id] = self.capacity_units
         if newly:
+            if self._journal is not None:
+                self._journal.record("join", cluster_id)
             self.hooks.on_cluster_joined(self, cluster_id)
 
     def set_cluster_neighbors(self, cluster_id: int, neighbors: Iterable[int]) -> None:
         self.cluster_neighbors[cluster_id] = set(neighbors) - {self.node_id}
+
+    # ------------------------------------------------------------------
+    # durability (repro.durability): journal hookup, power loss, recovery
+    # ------------------------------------------------------------------
+    @property
+    def journal(self):
+        """This peer's durability journal (None when durability is off)."""
+        return self._journal
+
+    def attach_journal(self, journal) -> None:
+        """Arm durability: every future durable change is journaled.
+
+        The journal's snapshot callback is bound to this peer's live
+        state, and a baseline snapshot is compacted immediately so a
+        power loss right after attach still recovers the bootstrap
+        state.
+        """
+        self._journal = journal
+        journal.snapshot_fn = lambda: durable_state(self, journal.flags)
+        self.dcrt.on_change = self._journal_dcrt_change
+        if self._content is not None:
+            self._content.on_manifest = self._journal_manifest
+        journal.compact()
+
+    def _journal_dcrt_change(self, category_id: int, entry: DCRTEntry) -> None:
+        if self._journal is not None:
+            self._journal.record(
+                "dcrt", category_id, entry.cluster_id, entry.move_counter
+            )
+
+    def _journal_manifest(self, doc_id: int, manifest) -> None:
+        if self._journal is not None:
+            self._journal.record(
+                "manifest",
+                doc_id,
+                manifest.size_bytes,
+                manifest.chunk_size,
+                manifest.version,
+            )
+
+    def lose_power(self) -> None:
+        """Amnesia crash: volatile memory is gone; the disk survives.
+
+        Called by ``P2PSystem.power_loss`` after ``handle_crash``.  What
+        survives is exactly what lives on disk — the journal, partially
+        fetched chunks, and chunk-corruption marks.  Documents are shed
+        through ``drop_document`` so deployment hooks keep the holder
+        directory consistent, but with the journal detached for the
+        wipe: losing memory is not an acknowledged drop.
+        """
+        journal, self._journal = self._journal, None
+        try:
+            for doc_id in list(self.docs):
+                self.drop_document(doc_id)
+        finally:
+            self._journal = journal
+        self.dcrt = DCRT(
+            on_change=self._journal_dcrt_change if journal is not None else None
+        )
+        self.nrt = NRT(max_nodes_per_cluster=self.config.nrt_capacity)
+        self.memberships.clear()
+        self.cluster_neighbors.clear()
+        self.hit_counters.clear()
+        self.requests_served = 0
+        self.queries_routed = 0
+        self.known_capabilities.clear()
+        self.believed_leader.clear()
+        self.super_peers.clear()
+        self.ownership_epochs.clear()
+        self._seen_queries.clear()
+        self._query_attempts.clear()
+        self._applied_counts.clear()
+        self._monitoring.clear()
+        self._publish_retries.clear()
+        self._pending_transfers.clear()
+        self._transfer_partners.clear()
+        self._designated_docs.clear()
+        self._cache = DocumentCache(
+            self.config.cache_capacity, self.config.cache_policy
+        )
+        self._pending_probes.clear()
+        self._stale_gossip_digest = None
+        self.detector.reset()
+        self.channel.lose_memory()
+        if self._content is not None:
+            self._content.lose_power()
+        self._lost_memory = True
+
+    @property
+    def lost_memory(self) -> bool:
+        """True while this peer awaits a durable-state replay."""
+        return self._lost_memory
+
+    def restore_durable_state(self, state: dict) -> None:
+        """Replay a materialized snapshot+WAL state after a power loss.
+
+        The journal is detached for the replay — restoring already
+        durable state must not re-journal it (a crash loop would grow
+        the log unboundedly).  Hooks still fire so the deployment's
+        holder directory and membership views heal alongside the peer.
+        """
+        journal, self._journal = self._journal, None
+        try:
+            for doc_id, size_bytes, categories in state["docs"]:
+                self.store_document(
+                    DocInfo(
+                        doc_id=doc_id,
+                        categories=tuple(categories),
+                        size_bytes=size_bytes,
+                    )
+                )
+            for category_id, cluster_id, counter in state["dcrt"]:
+                self.dcrt.set(category_id, cluster_id, counter)
+            for category_id, epoch in state["epochs"]:
+                self.ownership_epochs[category_id] = epoch
+            for cluster_id in state["memberships"]:
+                self.join_cluster(cluster_id)
+            if self._content is not None and state["manifests"]:
+                # Runtime import mirrors the PeerContent construction in
+                # __init__ (repro.content imports this package).
+                from repro.content.manifest import build_manifest
+
+                for doc_id, size_bytes, chunk_size, version in state[
+                    "manifests"
+                ]:
+                    self._content.manifests[doc_id] = build_manifest(
+                        doc_id, size_bytes, chunk_size, version=version
+                    )
+        finally:
+            self._journal = journal
+        self._lost_memory = False
 
     # ------------------------------------------------------------------
     # queries (Section 3.3)
@@ -1631,6 +1782,19 @@ class Peer:
     # ------------------------------------------------------------------
     def _handle_reassign_notice(self, message: Message) -> None:
         notice: m.ReassignNotice = message.payload
+        known_epoch = self.ownership_epochs.get(notice.category_id, 0)
+        if notice.epoch or known_epoch:
+            # Epoch fencing (durability armed): a notice must strictly
+            # advance the category's ownership epoch.  A stale owner
+            # resurfacing after a partition heal re-announces its old
+            # epoch and is rejected here, whatever its move counter says.
+            if notice.epoch <= known_epoch:
+                return
+            self.ownership_epochs[notice.category_id] = notice.epoch
+            if self._journal is not None:
+                self._journal.record(
+                    "epoch", notice.category_id, notice.epoch
+                )
         entry = DCRTEntry(notice.target_cluster, notice.move_counter)
         if not self.dcrt.merge(notice.category_id, entry):
             return  # stale or duplicate notice

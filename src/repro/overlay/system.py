@@ -48,6 +48,7 @@ from repro.overlay.peer import (
 # cycle while that package initializes.
 from repro.content.chunks import ContentConfig
 from repro.content.manifest import ContentManager, manifest_to_update
+from repro.durability import DurabilityConfig, MemoryStore, PeerJournal
 from repro.overlay.replication_manager import (
     ReplicationConfig,
     ReplicationManager,
@@ -93,6 +94,10 @@ class P2PSystemConfig:
     #: content data plane (chunked transfer, multi-source fetch, healing);
     #: off by default — documents stay metadata-only tokens.
     content: ContentConfig = field(default_factory=ContentConfig)
+    #: durable crash recovery (per-peer WAL + snapshot journals, epoch
+    #: fencing, reconciliation); off by default — no journals exist, no
+    #: record is ever appended, and runs stay byte-identical.
+    durability: DurabilityConfig = field(default_factory=DurabilityConfig)
     peer: PeerConfig = field(default_factory=PeerConfig)
 
     def __post_init__(self) -> None:
@@ -298,6 +303,14 @@ class P2PSystem:
         self._integrity_violations: list[str] = []
         self._ever_stored: set[tuple[int, int]] = set()
         self._bogus_rejections: list[tuple[int, int]] = []
+        #: durability bookkeeping — node id -> journal (empty when the
+        #: subsystem is off), the system's view of per-category ownership
+        #: epochs, and the append-only ledger of (category, epoch,
+        #: cluster) ownership claims the single-owner-per-epoch invariant
+        #: audits.
+        self._journals: dict[int, PeerJournal] = {}
+        self._category_epochs: dict[int, int] = {}
+        self._epoch_claims: list[tuple[int, int, int]] = []
 
         #: content data plane: manifests, fetch ledger, healer; None
         #: when disabled (no manifests, no metrics, no RNG draws).  The
@@ -314,6 +327,11 @@ class P2PSystem:
         )
         if self.config.content.enabled:
             self.content = ContentManager(self, self.config.content)
+        if self.config.durability.enabled:
+            # Journals attach after bootstrap so the baseline snapshot
+            # covers the placed documents and the full DCRT.
+            for node_id in sorted(self._peers):
+                self._attach_journal(self._peers[node_id])
 
     # ------------------------------------------------------------------
     # construction
@@ -343,6 +361,20 @@ class P2PSystem:
     def _jitter_rng(self):
         """The named retry-jitter stream (never consulted without a retry)."""
         return self.rngs.stream("reliability.jitter")
+
+    def _attach_journal(self, peer: Peer) -> None:
+        """Give ``peer`` its durability journal (reusing a prior one).
+
+        Reuse matters for re-admitted node ids: ``attach_journal``
+        compacts a fresh baseline immediately, so a stale journal left
+        by a departed incarnation is overwritten, never replayed.
+        """
+        journal = self._journals.get(peer.node_id)
+        if journal is None:
+            journal = PeerJournal(MemoryStore(), self.config.durability)
+            self._journals[peer.node_id] = journal
+        journal.flags["free_rider"] = peer.node_id in self._free_riders
+        peer.attach_journal(journal)
 
     def _bootstrap(self) -> None:
         instance, assignment = self.instance, self.assignment
@@ -534,6 +566,44 @@ class P2PSystem:
         """True when the content data plane runs (content invariants apply)."""
         return self.content is not None
 
+    @property
+    def durability_enabled(self) -> bool:
+        """True when peers journal durable state (recovery invariants apply)."""
+        return self.config.durability.enabled
+
+    def journal(self, node_id: int) -> PeerJournal | None:
+        """The node's durability journal (None when durability is off)."""
+        return self._journals.get(node_id)
+
+    def durable_docs_by_node(self) -> dict[int, set[int]]:
+        """Doc ids each node's journal acknowledges as held.
+
+        Crashed nodes included: their disks survive, which is what the
+        conservation and no-acknowledged-write-loss checks need.
+        """
+        return {
+            node_id: set(journal.durable_doc_ids())
+            for node_id, journal in sorted(self._journals.items())
+        }
+
+    def epoch_claims(self) -> list[tuple[int, int, int]]:
+        """Append-only ledger of (category, epoch, cluster) ownership claims."""
+        return list(self._epoch_claims)
+
+    def next_ownership_epoch(self, category_id: int) -> int:
+        """The next safe ownership epoch for a category.
+
+        Strictly above the system's recorded epoch *and* every peer's
+        adopted epoch (including crashed peers — their journals replay on
+        recovery), so a claim at this epoch fences all earlier owners.
+        """
+        best = self._category_epochs.get(category_id, 0)
+        for peer in self._peers.values():
+            known = peer.ownership_epochs.get(category_id, 0)
+            if known > best:
+                best = known
+        return best + 1
+
     def departed_node_ids(self) -> list[int]:
         """Sorted ids of peers that left or crashed out of the system."""
         return sorted(self._departed)
@@ -678,14 +748,22 @@ class P2PSystem:
         if graph is not None:
             graph.remove_member(notice.leaver_id)
 
-    def apply_reassignment(self, category_id: int, target_cluster: int) -> None:
+    def apply_reassignment(
+        self, category_id: int, target_cluster: int, epoch: int = 0
+    ) -> None:
         """Record a Phase-4 move in the authoritative assignment view.
 
         The destination cluster serves the category with its existing
         members (content arrives via the paired transfers); contributor
-        membership only changes through the publish protocol.
+        membership only changes through the publish protocol.  A nonzero
+        ``epoch`` (durability armed) records the ownership claim in the
+        epoch ledger the single-owner-per-epoch invariant audits.
         """
         self.assignment.move(category_id, target_cluster)
+        if epoch:
+            if epoch > self._category_epochs.get(category_id, 0):
+                self._category_epochs[category_id] = epoch
+            self._epoch_claims.append((category_id, epoch, target_cluster))
 
     # ------------------------------------------------------------------
     # workload execution
@@ -797,6 +875,13 @@ class P2PSystem:
         # service queue finish before deciding what must move.
         self.sim.run()
         for _ in range(max(1, handoff_rounds)):
+            if not self.network.is_alive(node_id) or node_id in self._departed:
+                # Crash-during-handoff: the leaver died mid-drain.  Abort
+                # — the crash path owns the node now, and a graceful
+                # leave here would count partially shipped manifests as
+                # placed copies and destroy last copies whose transfers
+                # never completed.
+                return False
             orphans = self._sole_holder_docs(node_id)
             if not orphans:
                 break
@@ -819,6 +904,8 @@ class P2PSystem:
                             ),
                         )
             self.sim.run()
+        if not self.network.is_alive(node_id) or node_id in self._departed:
+            return False  # crashed while the final drain ran
         if self._sole_holder_docs(node_id):
             return False  # last copies could not be placed; stay up
         self.leave_node(node_id)
@@ -877,6 +964,24 @@ class P2PSystem:
             # scheduled completion — a dead node must not keep serving.
             peer.handle_crash()
 
+    def power_loss(self, node_id: int) -> None:
+        """Crash a node *and* wipe its volatile memory (amnesia crash).
+
+        :meth:`crash_node` models an outage that keeps RAM — the healed
+        peer resumes with its tables intact.  This models the real
+        thing: everything in memory is gone and only the disk survives
+        (the durability journal, partially fetched chunks, and the
+        corruption marks — bad bits stay bad across a reboot).  The
+        wipe drops documents through the normal hooks so the holder
+        directory stays truthful, while the detached journal keeps
+        acknowledging them for the replay at :meth:`recover_node`.
+        """
+        peer = self._peers.get(node_id)
+        if peer is None:
+            raise ValueError(f"unknown node id {node_id}")
+        self.crash_node(node_id)
+        peer.lose_power()
+
     def recover_node(self, node_id: int) -> Peer:
         """Heal a crashed node: the inverse of :meth:`crash_node`.
 
@@ -901,9 +1006,84 @@ class P2PSystem:
         self._node_loads_cache = None
         self._cluster_members_cache = None
         peer.clear_failure_state()
+        if peer.lost_memory:
+            journal = self._journals.get(node_id)
+            if journal is not None:
+                # Replay snapshot + longest-valid-WAL-prefix, re-learn
+                # topology, then re-verify holdings against manifests
+                # before re-advertising anything.
+                peer.restore_durable_state(journal.load())
+                self._rewire_recovered(peer)
+                self._verify_recovered_holdings(peer)
+            # Without a journal the amnesia is permanent: the node comes
+            # back empty-handed and must rely on rejoin and healing.
         peer.announce_capabilities()
         self.sim.run()
         return peer
+
+    def _rewire_recovered(self, peer: Peer) -> None:
+        """Re-learn topology for a peer whose memory was just replayed.
+
+        The cluster graphs never dropped the node (a crash keeps
+        membership), so its neighbour links are all still there — only
+        the peer's own copy of them was wiped.
+        """
+        for cluster_id in sorted(peer.memberships):
+            members = self._cluster_members.get(cluster_id, ())
+            peer.join_cluster(cluster_id, known_members=sorted(members))
+            graph = self._graphs.get(cluster_id)
+            if graph is not None and peer.node_id in graph.members:
+                peer.set_cluster_neighbors(
+                    cluster_id, graph.neighbors(peer.node_id)
+                )
+
+    def _verify_recovered_holdings(self, peer: Peer) -> list[int]:
+        """Audit a recovered peer's holdings before they are trusted.
+
+        Two failure modes hide in a replayed disk: the cached manifest
+        may be stale (the document's version was bumped while the node
+        was dark — sync it from the registry, i.e. replay the missed
+        bump), and chunks may be corrupt.  A corrupt document with other
+        live holders is *dropped* — its intact chunks become verified
+        partial state — so the healer re-fetches it instead of the peer
+        silently re-advertising bad bytes; a corrupt *sole* copy is kept
+        (corrupt beats destroyed).  Returns the dropped doc ids.
+        """
+        if self.content is None:
+            return []
+        content = peer.content_state
+        if content is None:
+            return []
+        dropped: list[int] = []
+        for doc_id in sorted(peer.docs):
+            registry = self.content.manifest_for(doc_id)
+            if registry is not None:
+                cached = content.manifests.get(doc_id)
+                if cached is None or registry.version > cached.version:
+                    content.manifests[doc_id] = registry
+                    if content.on_manifest is not None:
+                        content.on_manifest(doc_id, registry)
+            bad = content.corrupt.get(doc_id)
+            if not bad:
+                continue
+            others = [
+                holder
+                for holder in self.content.live_holders(doc_id)
+                if holder != peer.node_id
+            ]
+            if not others:
+                continue  # sole copy: corrupt beats destroyed
+            manifest = content.manifests.get(doc_id, registry)
+            if manifest is not None:
+                intact = set(range(manifest.n_chunks)) - set(bad)
+                if intact:
+                    content.partial.setdefault(doc_id, set()).update(intact)
+                    for index in sorted(intact):
+                        self.content.note_partial(peer.node_id, doc_id, index)
+            content.corrupt.pop(doc_id, None)
+            peer.drop_document(doc_id)
+            dropped.append(doc_id)
+        return dropped
 
     def join_node(
         self,
@@ -935,6 +1115,10 @@ class P2PSystem:
             self._free_riders.add(node_id)
         for info in doc_infos:
             peer.store_document(info)
+        if self.config.durability.enabled:
+            # Attach after the initial stores so the baseline snapshot
+            # covers what the joiner brought.
+            self._attach_journal(peer)
         if bootstrap_id is None:
             alive = [p.node_id for p in self.alive_peers() if p.node_id != node_id]
             if not alive:
@@ -993,6 +1177,67 @@ class P2PSystem:
         report = self.content.healer.run_round()
         self.sim.run()
         return report
+
+    def run_reconciliation_round(self):
+        """One anti-entropy ownership reconciliation pass (durability on).
+
+        After a partition heals, live peers can disagree about which
+        cluster serves a category — each side may have rebalanced
+        independently.  Gossip alone converges on the higher move
+        counter, which is not necessarily the authoritative side.  This
+        pass finds every category with divergent beliefs among live
+        peers and broadcasts a fresh authoritative
+        :class:`~repro.overlay.messages.ReassignNotice` carrying a
+        *fenced* epoch (above every known claim) and a move counter
+        above every counter in the wild, so all peers converge on the
+        assignment view's owner and stale owners are demoted to
+        replicas.  Round-driven like gossip and healing; returns a
+        summary dict, or None when durability is disabled.
+        """
+        if not self.durability_enabled:
+            return None
+        alive = self.alive_peers()
+        beliefs: dict[int, set[int]] = {}
+        for peer in alive:
+            for category_id, entry in peer.dcrt.items():
+                beliefs.setdefault(category_id, set()).add(entry.cluster_id)
+        divergent = sorted(
+            category_id
+            for category_id, clusters in beliefs.items()
+            if len(clusters) > 1
+        )
+        for category_id in divergent:
+            target = int(self.assignment.category_to_cluster[category_id])
+            epoch = self.next_ownership_epoch(category_id)
+            counter = int(self.assignment.move_counters[category_id])
+            for peer in alive:
+                known = peer.dcrt.entry(category_id).move_counter
+                if known > counter:
+                    counter = known
+            counter += 1
+            # Jump the authoritative counter above every stale belief so
+            # later legitimate moves (assignment counter + 1) still win.
+            self.assignment.move_counters[category_id] = counter
+            notice = m.ReassignNotice(
+                category_id=category_id,
+                source_cluster=target,
+                target_cluster=target,
+                move_counter=counter,
+                epoch=epoch,
+            )
+            self.apply_reassignment(category_id, target, epoch=epoch)
+            # Deterministic sender: the lowest-id live member of the
+            # winning cluster, falling back to any live peer.
+            senders = [
+                peer
+                for peer in self.peers_in_cluster(target)
+                if self.network.is_alive(peer.node_id)
+            ] or alive
+            sender = min(senders, key=lambda p: p.node_id)
+            for peer in alive:
+                sender._send(peer.node_id, "reassign_notice", notice)
+        self.sim.run()
+        return {"divergent": len(divergent), "categories": divergent}
 
     def run_adaptation(
         self, round_id: int = 0, config: AdaptationConfig | None = None

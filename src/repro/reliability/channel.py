@@ -426,6 +426,17 @@ class ReliableChannel:
         """
         self._outstanding.clear()
 
+    def lose_memory(self) -> None:
+        """Power loss: volatile channel state is gone, sender and receiver.
+
+        Unlike :meth:`cancel_all` (crash with memory intact) this also
+        forgets the receiver dedup window — an amnesiac node genuinely
+        cannot tell a retransmission from a first delivery, so the
+        deployment's exactly-once accounting restarts alongside it.
+        """
+        self._outstanding.clear()
+        self._seen.clear()
+
     # ------------------------------------------------------------------
     # overload protection internals
     # ------------------------------------------------------------------

@@ -1,0 +1,353 @@
+"""Durable crash recovery: WAL/snapshot codec, journal replay, amnesia
+crashes, epoch fencing, and partition-heal reconciliation.
+
+The layering under test (see ``docs/architecture.md`` §Durability):
+
+* :mod:`repro.durability.wal` — crc-framed records; a torn tail must
+  never poison the valid prefix.
+* :mod:`repro.durability.store` — the in-memory sim store and the
+  fsync'd file store hold the *same bytes*, so replay semantics proved
+  here hold for ``--state-dir`` deployments too.
+* :mod:`repro.durability.journal` — write-ahead records + compacting
+  snapshots; ``materialize(snapshot, records)`` of what was persisted
+  must be byte-identical (under canonical encoding) to the live peer's
+  durable state at any quiescent point.
+* overlay integration — ``power_loss`` wipes volatile memory,
+  ``recover_node`` replays the journal, fenced ``ReassignNotice``
+  epochs reject stale owners, and a reconciliation round converges a
+  split-brain category back to the authoritative assignment.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.chaos.harness import ChaosRunner
+from repro.chaos.scenario import ScenarioConfig, Schedule
+from repro.durability import (
+    DurabilityConfig,
+    FileStore,
+    MemoryStore,
+    PeerJournal,
+    durable_state,
+    empty_state,
+    encode_record,
+    encode_snapshot,
+    materialize,
+    replay_wal,
+)
+from repro.overlay.messages import ReassignNotice
+from repro.overlay.metadata import DCRTEntry
+
+
+def make_recovery_system(seed=11, **overrides):
+    """The chaos harness's world with journals armed (durability on)."""
+    config = ScenarioConfig(content=True, recovery=True, **overrides)
+    return ChaosRunner(Schedule(seed=seed, entries=()), config).system
+
+
+# ----------------------------------------------------------------------
+# WAL codec
+# ----------------------------------------------------------------------
+class TestWalCodec:
+    def test_records_roundtrip(self):
+        records = [
+            ("store", 7, 4096, [1, 2]),
+            ("drop", 7),
+            ("dcrt", 3, 1, 5),
+            ("epoch", 3, 2),
+        ]
+        data = b"".join(encode_record(r) for r in records)
+        assert replay_wal(data) == records
+
+    def test_torn_tail_replays_longest_valid_prefix(self):
+        store = MemoryStore()
+        for record in (("store", 1, 10, []), ("store", 2, 10, []), ("drop", 1)):
+            store.append(encode_record(record))
+        _, wal = store.load()
+        # Tear the last record anywhere mid-frame: the first two records
+        # must replay; the torn third must be ignored, not crash replay.
+        last_len = len(encode_record(("drop", 1)))
+        for torn in range(1, last_len):
+            store2 = MemoryStore()
+            store2.append(wal)
+            store2.tear_wal(len(wal) - torn)
+            _, torn_wal = store2.load()
+            assert replay_wal(torn_wal) == [
+                ("store", 1, 10, []),
+                ("store", 2, 10, []),
+            ]
+
+    def test_corrupt_frame_stops_replay_at_the_damage(self):
+        good = encode_record(("store", 1, 10, []))
+        bad = bytearray(encode_record(("store", 2, 10, [])))
+        bad[10] ^= 0xFF  # flip a body byte: crc mismatch
+        after = encode_record(("store", 3, 10, []))
+        # Everything after the damaged frame is unreachable — offsets
+        # cannot be trusted past a bad crc.
+        assert replay_wal(good + bytes(bad) + after) == [("store", 1, 10, [])]
+
+    def test_unknown_record_kinds_are_skipped(self):
+        state = materialize(
+            None,
+            [
+                ("store", 5, 64, [0]),
+                ("hologram", 1, 2, 3),  # a future record kind
+                ("epoch", 0, 4),
+            ],
+        )
+        assert [doc[0] for doc in state["docs"]] == [5]
+        assert state["epochs"] == [[0, 4]]
+
+    def test_materialize_of_nothing_is_the_empty_state(self):
+        assert materialize(None, []) == empty_state()
+
+
+# ----------------------------------------------------------------------
+# stores
+# ----------------------------------------------------------------------
+class TestFileStore:
+    def test_roundtrips_like_memory_store(self, tmp_path):
+        mem, disk = MemoryStore(), FileStore(tmp_path / "node-0")
+        for store in (mem, disk):
+            store.append(encode_record(("store", 1, 10, [])))
+            store.write_snapshot(encode_snapshot(empty_state()))
+            store.append(encode_record(("store", 2, 10, [])))
+        assert mem.load() == disk.load()
+        disk.close()
+
+    def test_snapshot_truncates_wal(self, tmp_path):
+        store = FileStore(tmp_path / "node-1")
+        store.append(encode_record(("store", 1, 10, [])))
+        store.write_snapshot(encode_snapshot(empty_state()))
+        snapshot, wal = store.load()
+        assert snapshot is not None
+        assert wal == b""
+        store.close()
+
+    def test_torn_file_tail_replays_longest_valid_prefix(self, tmp_path):
+        store = FileStore(tmp_path / "node-2")
+        store.append(encode_record(("store", 1, 10, [])))
+        store.append(encode_record(("store", 2, 10, [])))
+        store.close()
+        raw = store.wal_path.read_bytes()
+        store.wal_path.write_bytes(raw[:-3])  # torn mid-final-record
+        _, wal = store.load()
+        assert replay_wal(wal) == [("store", 1, 10, [])]
+
+
+# ----------------------------------------------------------------------
+# journal
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_auto_compaction_consults_snapshot_fn(self):
+        journal = PeerJournal(
+            MemoryStore(), DurabilityConfig(enabled=True, snapshot_every=4)
+        )
+        state = empty_state()
+        state["docs"] = [[9, 16, [1]]]
+        journal.snapshot_fn = lambda: state
+        for i in range(10):
+            journal.record("dcrt", i, 0, 1)
+        assert journal.snapshots_written >= 2
+        assert journal.load()["docs"] == [[9, 16, [1]]]
+
+    def test_durable_doc_ids_track_store_and_drop(self):
+        journal = PeerJournal(MemoryStore(), DurabilityConfig(enabled=True))
+        journal.record("store", 1, 10, [0])
+        journal.record("store", 2, 10, [0])
+        journal.record("drop", 1)
+        assert journal.durable_doc_ids() == frozenset({2})
+
+
+# ----------------------------------------------------------------------
+# overlay integration
+# ----------------------------------------------------------------------
+class TestPowerLossRecovery:
+    def _victim(self, system):
+        return max(
+            system.alive_peers(), key=lambda peer: len(peer.docs)
+        ).node_id
+
+    def test_replay_is_byte_identical_to_live_state(self):
+        system = make_recovery_system()
+        for peer in system.alive_peers()[:8]:
+            journal = system.journal(peer.node_id)
+            assert journal is not None
+            persisted = encode_snapshot(journal.load())
+            live = encode_snapshot(durable_state(peer, journal.flags))
+            assert persisted == live
+
+    def test_recover_restores_docs_memberships_and_dcrt(self):
+        system = make_recovery_system()
+        victim = self._victim(system)
+        peer = system.peer(victim)
+        docs = dict(peer.docs)
+        memberships = set(peer.memberships)
+        dcrt = dict(peer.dcrt_items())
+        system.power_loss(victim)
+        assert peer.lost_memory
+        assert not peer.docs and not peer.memberships
+        system.sim.run()
+        system.recover_node(victim)
+        assert not peer.lost_memory
+        assert dict(peer.docs) == docs
+        assert set(peer.memberships) == memberships
+        assert dict(peer.dcrt_items()) == dcrt
+
+    def test_recovered_holdings_are_readvertised(self):
+        system = make_recovery_system()
+        victim = self._victim(system)
+        held = sorted(system.peer(victim).docs)
+        system.power_loss(victim)
+        system.sim.run()
+        # The wipe is honest: the holder directory forgets the victim...
+        view = system.doc_holders_view()
+        assert all(victim not in view.get(doc_id, ()) for doc_id in held)
+        system.recover_node(victim)
+        # ...and recovery re-advertises every acknowledged document.
+        view = system.doc_holders_view()
+        assert all(victim in view.get(doc_id, ()) for doc_id in held)
+
+    def test_amnesia_without_journal_is_permanent(self):
+        config = ScenarioConfig(content=True)  # durability off: no journals
+        system = ChaosRunner(Schedule(seed=11, entries=()), config).system
+        victim = self._victim(system)
+        peer = system.peer(victim)
+        assert peer.docs
+        system.power_loss(victim)
+        system.sim.run()
+        system.recover_node(victim)
+        assert not peer.docs  # nothing to replay: the node rejoins empty
+
+    def test_power_loss_keeps_partial_and_corrupt_chunks(self):
+        system = make_recovery_system()
+        victim = self._victim(system)
+        peer = system.peer(victim)
+        peer.content_state.corrupt[(1234, 0)] = True
+        peer.content_state.partial.setdefault(1234, set()).add(1)
+        system.power_loss(victim)
+        # Disk contents survive an amnesia crash: bad bits stay bad.
+        assert (1234, 0) in peer.content_state.corrupt
+        assert 1 in peer.content_state.partial[1234]
+
+
+class TestEpochFencing:
+    def _two_peers(self, system):
+        a, b = system.alive_peers()[:2]
+        return a, b
+
+    def _notice(self, category_id, target, counter, epoch):
+        return ReassignNotice(
+            category_id=category_id,
+            source_cluster=0,
+            target_cluster=target,
+            move_counter=counter,
+            epoch=epoch,
+        )
+
+    def test_stale_epoch_notice_is_rejected(self):
+        system = make_recovery_system()
+        sender, receiver = self._two_peers(system)
+        category_id = 0
+        entry = receiver.dcrt.entry(category_id)
+        receiver.ownership_epochs[category_id] = 5
+        # Stale owner: bumped counter (it kept rebalancing while
+        # partitioned) but an epoch at or below the receiver's.
+        for stale_epoch in (5, 4, 0):
+            sender._send(
+                receiver.node_id,
+                "reassign_notice",
+                self._notice(
+                    category_id,
+                    (entry.cluster_id + 1) % system.assignment.n_clusters,
+                    entry.move_counter + 10,
+                    stale_epoch,
+                ),
+            )
+            system.sim.run()
+            after = receiver.dcrt.entry(category_id)
+            assert after.cluster_id == entry.cluster_id
+            assert after.move_counter == entry.move_counter
+            assert receiver.ownership_epochs[category_id] == 5
+
+    def test_higher_epoch_notice_is_adopted_and_journaled(self):
+        system = make_recovery_system()
+        sender, receiver = self._two_peers(system)
+        category_id = 0
+        entry = receiver.dcrt.entry(category_id)
+        receiver.ownership_epochs[category_id] = 5
+        target = (entry.cluster_id + 1) % system.assignment.n_clusters
+        sender._send(
+            receiver.node_id,
+            "reassign_notice",
+            self._notice(category_id, target, entry.move_counter + 1, 6),
+        )
+        system.sim.run()
+        assert receiver.dcrt.entry(category_id).cluster_id == target
+        assert receiver.ownership_epochs[category_id] == 6
+        state = system.journal(receiver.node_id).load()
+        assert [category_id, 6] in state["epochs"]
+
+    def test_legacy_unfenced_notices_still_merge(self):
+        config = ScenarioConfig(content=True)  # durability off
+        system = ChaosRunner(Schedule(seed=11, entries=()), config).system
+        sender, receiver = self._two_peers(system)
+        category_id = 0
+        entry = receiver.dcrt.entry(category_id)
+        target = (entry.cluster_id + 1) % system.assignment.n_clusters
+        sender._send(
+            receiver.node_id,
+            "reassign_notice",
+            self._notice(category_id, target, entry.move_counter + 1, 0),
+        )
+        system.sim.run()
+        assert receiver.dcrt.entry(category_id).cluster_id == target
+
+
+class TestReconciliation:
+    def test_divergent_category_converges_to_assignment(self):
+        system = make_recovery_system()
+        category_id = 0
+        target = int(system.assignment.category_to_cluster[category_id])
+        stale = (target + 1) % system.assignment.n_clusters
+        counter = int(system.assignment.move_counters[category_id]) + 1
+        minority = system.alive_peers()[:5]
+        for peer in minority:
+            assert peer.dcrt.merge(category_id, DCRTEntry(stale, counter))
+        outcome = system.run_reconciliation_round()
+        assert outcome is not None and outcome["divergent"] >= 1
+        assert category_id in outcome["categories"]
+        final = int(system.assignment.category_to_cluster[category_id])
+        for peer in system.alive_peers():
+            assert peer.dcrt.entry(category_id).cluster_id == final
+        # The fenced claim landed in the epoch ledger exactly once.
+        claims = [c for c in system.epoch_claims() if c[0] == category_id]
+        assert len(claims) == 1 and claims[0][2] == final
+
+    def test_reconciliation_is_a_noop_when_durability_is_off(self):
+        config = ScenarioConfig(content=True)
+        system = ChaosRunner(Schedule(seed=11, entries=()), config).system
+        assert system.run_reconciliation_round() is None
+
+    def test_quiet_world_has_nothing_to_reconcile(self):
+        system = make_recovery_system()
+        outcome = system.run_reconciliation_round()
+        assert outcome == {"divergent": 0, "categories": []}
+
+
+class TestDurabilityConfig:
+    def test_defaults_keep_durability_off(self):
+        config = ScenarioConfig(content=True)
+        system = ChaosRunner(Schedule(seed=11, entries=()), config).system
+        assert not system.durability_enabled
+        assert system.journal(system.alive_peers()[0].node_id) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DurabilityConfig(enabled=True, snapshot_every=0)
+
+    def test_config_is_frozen(self):
+        config = DurabilityConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.enabled = True

@@ -114,7 +114,7 @@ class TestNetworkChaos:
         seen = []
         network.register(1, lambda msg: seen.append("a"))
         network.register(1, lambda msg: seen.append("b"))
-        network.send(0, 1, "x", None)
+        network.transmit(0, 1, "x", None)
         sim.run()
         assert seen == ["b"]
 
@@ -123,6 +123,6 @@ class TestNetworkChaos:
         network = Network(sim)
         network.register(1, lambda msg: None)
         network.unregister(1)
-        network.send(0, 1, "x", None)
+        network.transmit(0, 1, "x", None)
         sim.run()
         assert network.stats.messages_dropped == 1

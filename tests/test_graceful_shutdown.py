@@ -140,3 +140,50 @@ class TestCrashLeaveAsymmetry:
         observer, target = self._suspecting_pair(system)
         assert system.shutdown_node(target) is True
         assert not observer.detector.is_suspect(target)
+
+
+class TestCrashDuringHandoff:
+    """Regression: a leaver that dies mid-shutdown must abort the leave.
+
+    Before the drain guards, a crash landing inside the handoff loop let
+    the shutdown run to completion and count partially shipped documents
+    as placed copies — destroying last copies and breaking
+    no-sole-holder-loss.  Now every handoff round (and the final drain)
+    re-checks liveness and aborts: the crash path owns the node.
+    """
+
+    def test_crash_during_initial_drain_aborts_the_shutdown(self):
+        system = make_content_system()
+        doc_id, keeper = make_sole_holder(system)
+        # The crash fires inside shutdown_node's own drain, before the
+        # first handoff round inspects the world.
+        system.sim.schedule(0.0, lambda: system.crash_node(keeper))
+        assert system.shutdown_node(keeper) is False
+        # The crash path owns the node: its disk keeps the document and
+        # a recovery brings the copy (and its advertisement) back.
+        assert doc_id in system._peers[keeper].docs
+        system.recover_node(keeper)
+        assert keeper in system.content.live_holders(doc_id)
+
+    def test_crash_mid_handoff_does_not_count_partial_transfers(self):
+        system = make_content_system()
+        doc_id, keeper = make_sole_holder(system)
+        target = system._handoff_target(doc_id, keeper)
+        assert target is not None
+        original = target.pull_documents
+
+        def crash_after_pull(src, category_id, doc_ids):
+            original(src, category_id, doc_ids)
+            # The leaver dies the instant the pull goes out: the
+            # transfer can never complete, so nothing has been placed.
+            system.crash_node(keeper)
+
+        target.pull_documents = crash_after_pull
+        assert system.shutdown_node(keeper) is False
+        system.sim.run()
+        # The half-shipped manifest must not have registered the target
+        # as a live holder of a copy it never finished pulling.
+        assert doc_id not in target.docs
+        assert target.node_id not in system.content.live_holders(doc_id)
+        # And the crashed disk still has the last copy for recovery.
+        assert doc_id in system._peers[keeper].docs

@@ -18,7 +18,7 @@ class TestDelivery:
         sim, network = _make(base_latency=0.1, bandwidth=None)
         received = []
         network.register(1, lambda msg: received.append((sim.now, msg.payload)))
-        network.send(0, 1, "ping", "hello")
+        network.transmit(0, 1, "ping", "hello")
         sim.run()
         assert received == [(pytest.approx(0.1), "hello")]
 
@@ -26,7 +26,7 @@ class TestDelivery:
         sim, network = _make(base_latency=0.1, bandwidth=1000.0)
         received = []
         network.register(1, lambda msg: received.append(sim.now))
-        network.send(0, 1, "data", None, size_bytes=500)
+        network.transmit(0, 1, "data", None, size_bytes=500)
         sim.run()
         assert received == [pytest.approx(0.6)]
 
@@ -36,7 +36,7 @@ class TestDelivery:
 
     def test_unregistered_destination_drops(self):
         sim, network = _make()
-        network.send(0, 99, "ping", None)
+        network.transmit(0, 99, "ping", None)
         sim.run()
         assert network.stats.messages_dropped == 1
         assert network.stats.messages_delivered == 0
@@ -55,8 +55,8 @@ class TestDelivery:
         sim, network = _make(base_latency=0.1, bandwidth=None)
         received = []
         network.register(1, lambda msg: received.append(msg.payload))
-        network.send(0, 1, "a", 1)
-        network.send(0, 1, "b", 2)
+        network.transmit(0, 1, "a", 1)
+        network.transmit(0, 1, "b", 2)
         sim.run()
         assert received == [1, 2]
 
@@ -67,7 +67,7 @@ class TestFaults:
         received = []
         network.register(1, lambda msg: received.append(msg))
         network.crash(1)
-        network.send(0, 1, "ping", None)
+        network.transmit(0, 1, "ping", None)
         sim.run()
         assert received == []
         assert network.stats.messages_dropped == 1
@@ -77,7 +77,7 @@ class TestFaults:
         sim, network = _make(base_latency=1.0, bandwidth=None)
         received = []
         network.register(1, lambda msg: received.append(msg))
-        network.send(0, 1, "ping", None)
+        network.transmit(0, 1, "ping", None)
         sim.schedule(0.5, lambda: network.crash(1))
         sim.run()
         assert received == []
@@ -89,7 +89,7 @@ class TestFaults:
         network.register(1, lambda msg: received.append(msg))
         network.crash(1)
         network.recover(1)
-        network.send(0, 1, "ping", None)
+        network.transmit(0, 1, "ping", None)
         sim.run()
         assert len(received) == 1
 
@@ -99,7 +99,7 @@ class TestFaults:
         network.register(1, lambda msg: received.append(msg))
         network.register(0, lambda msg: None)
         network.crash(0)
-        network.send(0, 1, "ping", None)
+        network.transmit(0, 1, "ping", None)
         sim.run()
         assert received == []
 
@@ -110,11 +110,11 @@ class TestFaults:
         network.register(2, lambda msg: received.append(msg.src))
         network.set_partition([1], 1)
         network.set_partition([2], 2)
-        network.send(1, 2, "x", None)
+        network.transmit(1, 2, "x", None)
         sim.run()
         assert received == []
         network.heal_partitions()
-        network.send(1, 2, "x", None)
+        network.transmit(1, 2, "x", None)
         sim.run()
         assert received == [1]
 
@@ -124,7 +124,7 @@ class TestFaults:
         network.register(1, lambda msg: None)
         network.register(2, lambda msg: received.append(msg))
         network.set_partition([1, 2], 5)
-        network.send(1, 2, "x", None)
+        network.transmit(1, 2, "x", None)
         sim.run()
         assert len(received) == 1
 
@@ -134,7 +134,7 @@ class TestFaults:
         received = []
         network.register(1, lambda msg: received.append(msg))
         for _ in range(200):
-            network.send(0, 1, "x", None)
+            network.transmit(0, 1, "x", None)
         sim.run()
         assert 50 < len(received) < 150
 
@@ -148,9 +148,9 @@ class TestAccounting:
     def test_byte_and_kind_counters(self):
         sim, network = _make()
         network.register(1, lambda msg: None)
-        network.send(0, 1, "query", None, size_bytes=100)
-        network.send(0, 1, "query", None, size_bytes=150)
-        network.send(0, 1, "transfer", None, size_bytes=1000)
+        network.transmit(0, 1, "query", None, size_bytes=100)
+        network.transmit(0, 1, "query", None, size_bytes=150)
+        network.transmit(0, 1, "transfer", None, size_bytes=1000)
         sim.run()
         stats = network.stats
         assert stats.messages_sent == 3
@@ -179,7 +179,7 @@ class TestAccounting:
 class TestDropReasons:
     def test_dst_dead(self):
         sim, network = _make()
-        network.send(0, 99, "ping", None)
+        network.transmit(0, 99, "ping", None)
         assert network.stats.drops_by_reason == {"dst-dead": 1}
 
     def test_src_crashed(self):
@@ -187,7 +187,7 @@ class TestDropReasons:
         network.register(0, lambda msg: None)
         network.register(1, lambda msg: None)
         network.crash(0)
-        network.send(0, 1, "ping", None)
+        network.transmit(0, 1, "ping", None)
         assert network.stats.drops_by_reason == {"src-crashed": 1}
 
     def test_partitioned(self):
@@ -196,7 +196,7 @@ class TestDropReasons:
         network.register(2, lambda msg: None)
         network.set_partition([1], 1)
         network.set_partition([2], 2)
-        network.send(1, 2, "x", None)
+        network.transmit(1, 2, "x", None)
         assert network.stats.drops_by_reason == {"partitioned": 1}
 
     def test_random_loss(self):
@@ -204,7 +204,7 @@ class TestDropReasons:
         sim, network = _make(drop=0.5, rng=rng)
         network.register(1, lambda msg: None)
         for _ in range(50):
-            network.send(0, 1, "x", None)
+            network.transmit(0, 1, "x", None)
         sim.run()
         reasons = network.stats.drops_by_reason
         assert set(reasons) == {"random-loss"}
@@ -213,7 +213,7 @@ class TestDropReasons:
     def test_dead_at_delivery(self):
         sim, network = _make(base_latency=1.0, bandwidth=None)
         network.register(1, lambda msg: None)
-        network.send(0, 1, "ping", None)
+        network.transmit(0, 1, "ping", None)
         sim.schedule(0.5, lambda: network.crash(1))
         sim.run()
         assert network.stats.drops_by_reason == {"dst-dead-at-delivery": 1}
@@ -222,9 +222,9 @@ class TestDropReasons:
         rng = np.random.default_rng(3)
         sim, network = _make(drop=0.3, rng=rng)
         network.register(1, lambda msg: None)
-        network.send(0, 99, "x", None)  # dst-dead
+        network.transmit(0, 99, "x", None)  # dst-dead
         for _ in range(30):
-            network.send(0, 1, "x", None)  # some random-loss
+            network.transmit(0, 1, "x", None)  # some random-loss
         sim.run()
         assert (
             sum(network.stats.drops_by_reason.values())
@@ -241,8 +241,8 @@ class TestTracing:
         try:
             sim, network = _make()
             network.register(1, lambda msg: None)
-            network.send(0, 1, "query", None)
-            network.send(0, 99, "query", None)
+            network.transmit(0, 1, "query", None)
+            network.transmit(0, 99, "query", None)
             sim.run()
         finally:
             obs.TRACE.disable()
@@ -262,7 +262,7 @@ class TestEdgeCases:
         sim, network = _make(base_latency=1.0, bandwidth=None)
         received = []
         network.register(1, lambda msg: received.append(msg))
-        network.send(0, 1, "ping", None)
+        network.transmit(0, 1, "ping", None)
         sim.schedule(0.5, lambda: network.unregister(1))
         sim.run()
         assert received == []
@@ -297,8 +297,8 @@ class TestEdgeCases:
         ))
         network.set_kind_drop_probability("ack", 0.9)
         for _ in range(40):
-            network.send(0, 1, "ack", None)
-            network.send(0, 1, "data", None)
+            network.transmit(0, 1, "ack", None)
+            network.transmit(0, 1, "data", None)
         sim.run()
         assert received["ack"] < 40  # acks suffer the override...
         assert received["data"] == 40  # ...other kinds keep the default
@@ -311,7 +311,7 @@ class TestEdgeCases:
         network.register(1, lambda msg: received.append(msg.kind))
         network.set_kind_drop_probability("ack", 0.0)
         for _ in range(40):
-            network.send(0, 1, "ack", None)
+            network.transmit(0, 1, "ack", None)
         sim.run()
         assert len(received) == 40  # the override shields acks entirely
 
@@ -326,3 +326,63 @@ class TestEdgeCases:
         network.set_kind_drop_probability("ack", 0.5)
         network.clear_kind_drop_probabilities()
         assert network._kind_drop == {}
+
+
+class TestDeprecatedShims:
+    """Both legacy entry points warn exactly once, then stay quiet."""
+
+    def test_network_send_warns_exactly_once_per_process(self):
+        import warnings
+
+        import repro.sim.network as network_module
+
+        saved = network_module._SEND_SHIM_WARNED
+        network_module._SEND_SHIM_WARNED = False
+        try:
+            sim, network = _make()
+            network.register(1, lambda msg: None)
+            with warnings.catch_warnings(record=True) as caught:
+                # Even with an "always" filter the module-level gate
+                # admits a single warning: repeated legacy sends in a
+                # hot loop must not drown the log.
+                warnings.simplefilter("always")
+                network.send(0, 1, "x", None)
+                network.send(0, 1, "x", None)
+                network.send(0, 1, "x", None)
+            sim.run()
+            shim_warnings = [
+                w
+                for w in caught
+                if issubclass(w.category, DeprecationWarning)
+                and "Network.send is deprecated" in str(w.message)
+            ]
+            assert len(shim_warnings) == 1
+        finally:
+            network_module._SEND_SHIM_WARNED = saved
+
+    def test_peer_network_property_warns_exactly_once_per_site(self):
+        import warnings
+
+        from repro.overlay.peer import Peer
+        from repro.transport import as_transport
+
+        sim, network = _make()
+        peer = Peer(
+            0,
+            capacity_units=1.0,
+            rng=np.random.default_rng(0),
+            transport=as_transport(network),
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            # The property warns per access; the standard "default"
+            # filter collapses repeats from the same call site to one.
+            warnings.simplefilter("default")
+            for _ in range(3):
+                assert peer.network is network
+        shim_warnings = [
+            w
+            for w in caught
+            if issubclass(w.category, DeprecationWarning)
+            and "Peer.network is deprecated" in str(w.message)
+        ]
+        assert len(shim_warnings) == 1

@@ -256,7 +256,7 @@ class TestPeerIntegration:
         overlay.wire_cluster(4, [0, 1], edges=[(0, 1)], category_map={5: 4})
         overlay.give_document(1, 99, [5])
         for query_id in range(10):
-            overlay.network.send(
+            overlay.network.transmit(
                 0,
                 1,
                 "query",

@@ -11,10 +11,10 @@ def _stats_with_traffic():
     sim = Simulator()
     network = Network(sim)
     network.register(1, lambda msg: None)
-    network.send(0, 1, "query", None, size_bytes=100)
-    network.send(0, 1, "query", None, size_bytes=100)
-    network.send(0, 1, "transfer_data", None, size_bytes=10_000)
-    network.send(0, 99, "query", None, size_bytes=100)  # dropped
+    network.transmit(0, 1, "query", None, size_bytes=100)
+    network.transmit(0, 1, "query", None, size_bytes=100)
+    network.transmit(0, 1, "transfer_data", None, size_bytes=10_000)
+    network.transmit(0, 99, "query", None, size_bytes=100)  # dropped
     sim.run()
     return network.stats
 
